@@ -1,0 +1,67 @@
+// Ablation — GIL switch-interval sensitivity (Fig. 2's timeout knob,
+// CPython's sys.setswitchinterval): how the preemption quantum shapes
+// thread-mode latency for homogeneous CPU rules vs a mixed CPU/IO stage,
+// in both the white-box prediction and the ground-truth simulation.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/predictor.h"
+#include "platform/plan_backend.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+namespace {
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+void sweep(const Workflow& wf, const SystemOptions& base_opts) {
+  std::cout << "\n--- " << wf.name() << " (all-threads plan) ---\n";
+  Table table({"switch interval", "predicted", "simulated",
+               "slowest fn (sim)"});
+  const WrapPlan plan = faastlane_t_plan(wf);
+  for (TimeMs interval : {0.5, 1.0, 5.0, 15.0, 50.0}) {
+    RuntimeParams params;
+    params.gil_switch_interval_ms = interval;
+    Predictor predictor(PredictorConfig{params, Runtime::kPython3, 1.0},
+                        true_behaviors(wf));
+    WrapPlanBackend backend("gil", params, wf, plan, base_opts.noise);
+    Rng rng(base_opts.seed);
+    TimeMs worst_fn = 0.0;
+    TimeMs sum = 0.0;
+    const int runs = 10;
+    for (int i = 0; i < runs; ++i) {
+      const RunResult r = backend.run(rng);
+      sum += r.e2e_latency_ms;
+      for (const FunctionTimeline& tl : r.functions) {
+        worst_fn = std::max(worst_fn, tl.finish_ms - tl.invoke_ms);
+      }
+    }
+    table.row()
+        .add_unit(interval, "ms")
+        .add_unit(predictor.workflow_latency(plan), "ms")
+        .add_unit(sum / runs, "ms")
+        .add_unit(worst_fn, "ms");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "GIL switch-interval sensitivity");
+  const SystemOptions opts = bench::default_options();
+  sweep(make_finra(25), opts);   // homogeneous CPU rules
+  sweep(make_slapp(), opts);     // mixed CPU / disk / network
+  std::cout << "\nexpected shape: homogeneous CPU work is insensitive to the"
+               " quantum (total CPU\nis conserved); mixed stages suffer with"
+               " long quanta because a CPU-bound holder\ndelays I/O-bound"
+               " threads from *issuing* their waits, serialising the"
+               " overlap.\n";
+  return 0;
+}

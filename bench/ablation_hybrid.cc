@@ -1,0 +1,101 @@
+// Ablation — the value of each PGP ingredient (DESIGN.md §5): hybrid
+// thread+process execution vs thread-only and process-only, KL refinement
+// on/off, CPU minimisation on/off, conservative factor on/off; measured on
+// latency, CPUs and throughput for FINRA-50 and SLApp-V.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/pgp.h"
+#include "platform/plan_backend.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+namespace {
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+struct Variant {
+  std::string name;
+  PgpConfig config;
+};
+
+void run_workflow(const Workflow& wf, const SystemOptions& opts) {
+  std::cout << "\n--- " << wf.name() << " ---\n";
+  const TimeMs slo = default_slo(wf, opts);
+  std::cout << "SLO = " << format_fixed(slo, 1) << " ms\n";
+
+  std::vector<Variant> variants;
+  variants.push_back({"PGP (full)", PgpConfig{}});
+  {
+    PgpConfig c;
+    c.use_kl = false;
+    variants.push_back({"- KL refinement", c});
+  }
+  {
+    PgpConfig c;
+    c.minimize_cpus = false;
+    variants.push_back({"- CPU minimisation", c});
+  }
+  {
+    PgpConfig c;
+    c.conservative_factor = 1.0;
+    variants.push_back({"- conservative margin", c});
+  }
+  {
+    PgpConfig c;
+    c.resource_slack = 0.0;
+    variants.push_back({"- resource slack", c});
+  }
+
+  Table table({"variant", "latency", "CPUs", "sandboxes", "memory",
+               "throughput"});
+  for (const Variant& v : variants) {
+    PgpScheduler scheduler(v.config, wf, true_behaviors(wf));
+    const PgpResult result = scheduler.schedule(slo);
+    WrapPlanBackend backend("ablation", opts.params, wf, result.plan,
+                            opts.noise);
+    Rng rng(opts.seed);
+    const SystemEval eval = evaluate_system(backend, opts.params, rng, 10);
+    table.row()
+        .add(v.name)
+        .add_unit(eval.mean_latency_ms, "ms")
+        .add(eval.usage.cpus, 0)
+        .add_int(static_cast<long long>(eval.usage.sandboxes))
+        .add_unit(eval.usage.memory_mb, "MB")
+        .add(format_fixed(eval.throughput_rps, 0) + " rps");
+  }
+  // Fixed-mode baselines for context: all-threads / all-processes.
+  for (const auto& [name, plan] :
+       {std::pair{std::string{"all threads (Faastlane-T)"},
+                  faastlane_t_plan(wf)},
+        std::pair{std::string{"all processes (SAND)"}, sand_plan(wf)}}) {
+    WrapPlanBackend backend(name, opts.params, wf, plan, opts.noise);
+    Rng rng(opts.seed);
+    const SystemEval eval = evaluate_system(backend, opts.params, rng, 10);
+    table.row()
+        .add(name)
+        .add_unit(eval.mean_latency_ms, "ms")
+        .add(eval.usage.cpus, 0)
+        .add_int(static_cast<long long>(eval.usage.sandboxes))
+        .add_unit(eval.usage.memory_mb, "MB")
+        .add(format_fixed(eval.throughput_rps, 0) + " rps");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "PGP ingredients: hybrid execution, KL, CPU "
+                            "minimisation, conservative margin");
+  const SystemOptions opts = bench::default_options();
+  run_workflow(make_finra(50), opts);
+  run_workflow(make_slapp_v(), opts);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation — the wrap-count trade-off PGP navigates (paper Fig. 11 and
+// Algorithm 2 line 7): for FINRA-100, sweep the number of processes and
+// the processes-per-wrap packing and report predicted + simulated latency,
+// exposing the block-time vs invocation-overhead balance.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/pgp.h"
+#include "ml/predictor_eval.h"
+#include "platform/plan_backend.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+namespace {
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "wrap packing sweep (Fig. 11 mechanics), "
+                            "FINRA-100");
+  const SystemOptions opts = bench::default_options();
+  const Workflow wf = make_finra(100);
+  Predictor predictor(
+      PredictorConfig{opts.params, Runtime::kPython3, 1.0},
+      true_behaviors(wf));
+
+  // Sweep per-sandbox process counts with the Faastlane+ style fixed
+  // packing, all functions as single-function processes.
+  std::cout << "\n(a) processes per sandbox (one function per process)\n";
+  Table packing({"procs/wrap", "wraps", "predicted", "simulated", "memory"});
+  for (std::size_t per : {1ul, 2ul, 4ul, 6ul, 10ul, 20ul, 50ul, 100ul}) {
+    const WrapPlan plan = faastlane_plus_plan(wf, per);
+    WrapPlanBackend backend("sweep", opts.params, wf, plan, opts.noise);
+    Rng rng(opts.seed);
+    packing.row()
+        .add_int(static_cast<long long>(per))
+        .add_int(static_cast<long long>(plan.stages[1].wrap_count()))
+        .add_unit(predictor.workflow_latency(plan), "ms")
+        .add_unit(backend.mean_latency(rng, 5), "ms")
+        .add_unit(backend.resources().memory_mb, "MB");
+  }
+  packing.print(std::cout);
+
+  // Sweep the process count with balanced thread groups in one wrap.
+  std::cout << "\n(b) process count (threads balanced within processes, "
+               "single wrap)\n";
+  Table processes({"processes", "predicted", "simulated", "CPUs"});
+  for (std::size_t n : {1ul, 2ul, 4ul, 8ul, 17ul, 34ul, 100ul}) {
+    const auto plans = ml::enumerate_plans(wf, IsolationMode::kNative, 400);
+    // Find the single-wrap plan with n processes from the enumeration.
+    const WrapPlan* found = nullptr;
+    for (const WrapPlan& plan : plans) {
+      if (plan.stages[1].process_count() == n &&
+          plan.stages[1].wrap_count() == 1) {
+        found = &plan;
+        break;
+      }
+    }
+    if (!found) continue;
+    WrapPlanBackend backend("sweep", opts.params, wf, *found, opts.noise);
+    Rng rng(opts.seed);
+    processes.row()
+        .add_int(static_cast<long long>(n))
+        .add_unit(predictor.workflow_latency(*found), "ms")
+        .add_unit(backend.mean_latency(rng, 5), "ms")
+        .add_int(static_cast<long long>(found->allocated_cpus()));
+  }
+  processes.print(std::cout);
+
+  // What PGP actually picks.
+  PgpScheduler scheduler(PgpConfig{}, wf, true_behaviors(wf));
+  const TimeMs slo = default_slo(wf, opts);
+  const PgpResult result = scheduler.schedule(slo);
+  std::cout << "\nPGP choice at SLO " << format_fixed(slo, 0) << " ms: "
+            << result.processes << " processes, "
+            << result.plan.sandbox_count() << " sandboxes, "
+            << result.plan.allocated_cpus() << " CPUs, predicted "
+            << format_fixed(result.predicted_latency_ms, 1)
+            << " ms (paper Fig. 11: 17 processes in 4 wraps at a 200 ms "
+               "SLO).\n";
+  return 0;
+}

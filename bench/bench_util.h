@@ -1,0 +1,54 @@
+// Shared helpers for the per-figure bench binaries: the simulated-testbed
+// banner (paper Table 2), common option construction, and optional CSV
+// artifact emission (set CHIRON_CSV_DIR to a directory to collect every
+// table as <experiment>.csv for plotting scripts).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "platform/systems.h"
+#include "runtime/params.h"
+
+namespace chiron::bench {
+
+/// Prints the experiment banner with the simulated testbed configuration
+/// (paper Table 2) so every bench output is self-describing.
+inline void banner(const std::string& experiment, const std::string& what) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("simulated testbed (Table 2): %zu-core Xeon @%.1f GHz, %.0f GB "
+              "DRAM per node\n",
+              p.node_cpus, p.cpu_freq_ghz, p.node_memory_mb / 1024.0);
+  std::printf("================================================================\n");
+}
+
+/// Default experiment options: paper-calibrated parameters, realistic
+/// noise, fixed seed for reproducible output.
+inline SystemOptions default_options() {
+  SystemOptions opts;
+  opts.seed = 0xC41503;
+  return opts;
+}
+
+/// When CHIRON_CSV_DIR is set, writes `table` to <dir>/<name>.csv so a
+/// plotting pipeline can consume the bench results (artifact-style).
+inline void maybe_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("CHIRON_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (out) {
+    out << table.to_csv();
+    std::cout << "[csv] wrote " << path << "\n";
+  } else {
+    std::cerr << "[csv] cannot write " << path << "\n";
+  }
+}
+
+}  // namespace chiron::bench

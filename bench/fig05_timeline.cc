@@ -1,0 +1,78 @@
+// Fig. 5 — execution timelines of the process-based (Faastlane) and
+// thread-based (Faastlane-T) many-to-one deployments for FINRA-5: per
+// function, when it was dispatched, started executing, and finished,
+// plus an ASCII Gantt of the rules stage.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "platform/plan_backend.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+namespace {
+
+void print_timeline(const Workflow& wf, const std::string& label,
+                    const WrapPlan& plan, const SystemOptions& opts) {
+  NoiseConfig quiet;  // deterministic timelines, like the paper's trace
+  quiet.jitter_sigma = 0.0;
+  quiet.thread_contention = 0.0;
+  WrapPlanBackend backend(label, opts.params, wf, plan, quiet);
+  Rng rng(opts.seed);
+  const RunResult result = backend.run(rng);
+
+  std::cout << "\n--- " << label << " (e2e " << format_fixed(result.e2e_latency_ms, 1)
+            << " ms) ---\n";
+  Table table({"function", "invoke", "exec start", "finish", "startup+block"});
+  TimeMs stage_begin = result.stage_latency_ms[0];
+  TimeMs horizon = 0.0;
+  for (const FunctionTimeline& tl : result.functions) {
+    table.row()
+        .add(wf.function(tl.id).name)
+        .add_unit(tl.invoke_ms, "ms")
+        .add_unit(tl.start_exec_ms, "ms")
+        .add_unit(tl.finish_ms, "ms")
+        .add_unit(tl.start_exec_ms - tl.invoke_ms, "ms");
+    horizon = std::max(horizon, tl.finish_ms);
+  }
+  table.print(std::cout);
+
+  // ASCII Gantt of the rules stage (stage 1), 1 char ~ horizon/60.
+  std::cout << "rules-stage gantt ('s' dispatch wait, '#' cpu, '.' block):\n";
+  const double scale = 60.0 / std::max(horizon - stage_begin, 1.0);
+  for (const FunctionTimeline& tl : result.functions) {
+    if (tl.id < 2) continue;  // skip the fetch stage
+    std::string line(62, ' ');
+    auto mark = [&](TimeMs a, TimeMs b, char c) {
+      int i0 = static_cast<int>((a - stage_begin) * scale);
+      int i1 = static_cast<int>((b - stage_begin) * scale);
+      for (int i = std::max(0, i0); i <= std::min(61, i1); ++i) line[i] = c;
+    };
+    mark(tl.invoke_ms, tl.start_exec_ms, 's');
+    for (const TimelineSpan& span : tl.spans) {
+      mark(span.begin, span.end,
+           span.kind == TimelineSpan::Kind::kCpu ? '#' : '.');
+    }
+    std::printf("  %-10s |%s|\n", wf.function(tl.id).name.c_str(),
+                line.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5",
+                "process vs thread execution timelines, FINRA-5");
+  const SystemOptions opts = bench::default_options();
+  const Workflow wf = make_finra(5);
+  print_timeline(wf, "Function-to-Process (Faastlane)", faastlane_plan(wf),
+                 opts);
+  print_timeline(wf, "Function-to-Thread (Faastlane-T)", faastlane_t_plan(wf),
+                 opts);
+  std::cout << "\npaper shape: process mode pays ~7.5 ms startup plus growing"
+               " fork-block\nper rule; thread mode starts all rules within"
+               " ~1 ms but serialises their CPU.\n";
+  return 0;
+}

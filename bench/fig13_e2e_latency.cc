@@ -1,0 +1,46 @@
+// Fig. 13 — normalized end-to-end workflow latency of all nine systems
+// across the eight evaluation workflows (normalized to Chiron; the ms
+// annotation is Chiron's absolute latency, as in the paper).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+int main() {
+  bench::banner("Figure 13", "normalized workflow end-to-end latency");
+  const SystemOptions opts = bench::default_options();
+
+  const auto suite = evaluation_suite();
+  std::vector<std::string> headers{"system"};
+  for (const Workflow& wf : suite) headers.push_back(wf.name());
+  Table table(headers);
+
+  // Chiron first, to normalize against.
+  std::vector<TimeMs> chiron(suite.size());
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const auto backend = make_system("Chiron", suite[w], opts);
+    Rng rng(opts.seed + w);
+    chiron[w] = backend->mean_latency(rng, 10);
+  }
+  for (const std::string& system : fig13_systems()) {
+    table.row().add(system);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+      if (system == "Chiron") {
+        table.add("1.00 (" + format_fixed(chiron[w], 0) + " ms)");
+        continue;
+      }
+      const auto backend = make_system(system, suite[w], opts);
+      Rng rng(opts.seed + w);
+      table.add(backend->mean_latency(rng, 10) / chiron[w], 2);
+    }
+  }
+  table.print(std::cout);
+  bench::maybe_csv(table, "fig13_e2e_latency");
+  std::cout << "\npaper shape: ASF off the chart (8+ s scheduling at"
+               " FINRA-200); Chiron reduces\nlatency ~90 % vs ASF, ~37 % vs"
+               " OpenFaaS, ~32 % vs SAND, ~25 % vs Faastlane.\n";
+  return 0;
+}

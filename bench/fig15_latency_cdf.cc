@@ -1,0 +1,45 @@
+// Fig. 15 — CDF of per-function latency (dispatch to finish) for the 50
+// parallel rule functions of FINRA-50 under seven systems.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/stats.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+int main() {
+  bench::banner("Figure 15", "function latency CDF, FINRA-50");
+  const SystemOptions opts = bench::default_options();
+  const Workflow wf = make_finra(50);
+  const std::vector<std::string> systems{
+      "OpenFaaS",    "Faastlane", "Chiron",    "Faastlane-M",
+      "Chiron-M",    "Faastlane-P", "Chiron-P"};
+
+  Table table({"system", "p10", "p25", "p50", "p75", "p90", "p99"});
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    const auto backend = make_system(systems[s], wf, opts);
+    Rng rng(opts.seed + s);
+    std::vector<double> latencies;
+    for (int run = 0; run < 10; ++run) {
+      const RunResult result = backend->run(rng);
+      // Function latency = completion time since its stage began: this is
+      // what the paper's CDF shows (startup/block spread included).
+      const TimeMs stage_begin = result.stage_latency_ms[0];
+      for (const FunctionTimeline& tl : result.functions) {
+        if (tl.id >= 2) latencies.push_back(tl.finish_ms - stage_begin);
+      }
+    }
+    Cdf cdf(latencies);
+    table.row().add(systems[s]);
+    for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+      table.add_unit(cdf.quantile(q), "ms");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: pool systems start functions fastest but show"
+               " a long tail under\nskew; Chiron variants start and finish"
+               " faster than their Faastlane twins\n(up to 32.5 %).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 16 — normalized memory consumption and maximum throughput (req/s)
+// on one worker node for all eight self-hosted systems across the eight
+// workflows (normalized to Chiron; absolute Chiron values annotated).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+int main() {
+  bench::banner("Figure 16",
+                "normalized memory and max throughput per worker node");
+  const SystemOptions opts = bench::default_options();
+  const std::vector<std::string> systems{
+      "OpenFaaS",    "SAND",     "Faastlane",   "Chiron",
+      "Faastlane-M", "Chiron-M", "Faastlane-P", "Chiron-P"};
+  const auto suite = evaluation_suite();
+
+  std::vector<std::string> headers{"system"};
+  for (const Workflow& wf : suite) headers.push_back(wf.name());
+  Table mem(headers), thr(headers);
+
+  // Evaluate everything once.
+  std::vector<std::vector<SystemEval>> evals(systems.size());
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+      const auto backend = make_system(systems[s], suite[w], opts);
+      Rng rng(opts.seed + s * 31 + w);
+      evals[s].push_back(
+          evaluate_system(*backend, opts.params, rng, 10));
+    }
+  }
+  const std::size_t chiron_idx = 3;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    mem.row().add(systems[s]);
+    thr.row().add(systems[s]);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+      const double mem_norm =
+          evals[s][w].usage.memory_mb / evals[chiron_idx][w].usage.memory_mb;
+      const double thr_norm =
+          evals[s][w].throughput_rps / evals[chiron_idx][w].throughput_rps;
+      if (s == chiron_idx) {
+        mem.add("1.00 (" +
+                format_fixed(evals[s][w].usage.memory_mb, 0) + " MB)");
+        thr.add("1.00 (" + format_fixed(evals[s][w].throughput_rps, 0) +
+                " rps)");
+      } else {
+        mem.add(mem_norm, 2);
+        thr.add(thr_norm, 2);
+      }
+    }
+  }
+  std::cout << "(a) normalized memory (Chiron = 1)\n";
+  mem.print(std::cout);
+  bench::maybe_csv(mem, "fig16_memory");
+  std::cout << "\n(b) normalized max throughput (Chiron = 1)\n";
+  thr.print(std::cout);
+  bench::maybe_csv(thr, "fig16_throughput");
+
+  // Headline: Chiron's throughput gain over each system family.
+  auto gain_range = [&](std::size_t first, std::size_t last) {
+    double worst = 1e18, best = 0.0;
+    for (std::size_t s = first; s <= last; ++s) {
+      if (s == chiron_idx) continue;
+      for (std::size_t w = 0; w < suite.size(); ++w) {
+        const double gain =
+            evals[chiron_idx][w].throughput_rps / evals[s][w].throughput_rps;
+        worst = std::min(worst, gain);
+        best = std::max(best, gain);
+      }
+    }
+    return std::pair{worst, best};
+  };
+  const auto [w_all, b_all] = gain_range(0, systems.size() - 1);
+  const auto [w_core, b_core] = gain_range(0, 2);  // one-to-one/many-to-one
+  std::cout << "\nChiron throughput gain vs OpenFaaS/SAND/Faastlane: "
+            << format_fixed(w_core, 1) << "x - " << format_fixed(b_core, 1)
+            << "x;\nvs all systems incl. MPK/pool variants: "
+            << format_fixed(w_all, 1) << "x - " << format_fixed(b_all, 1)
+            << "x (paper headline: 1.3x - 21.8x, up to 39.6x).\n";
+  return 0;
+}

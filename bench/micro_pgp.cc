@@ -1,0 +1,68 @@
+// §7 scalability micro-benchmarks (google-benchmark): PGP scheduling cost
+// as workflows grow to hundreds of functions (the paper reports
+// minute-level offline cost at that scale; KL is the dominant factor and
+// is skipped above kl_function_limit, as §7's discussion suggests).
+#include <benchmark/benchmark.h>
+
+#include "core/pgp.h"
+#include "core/kernighan_lin.h"
+#include "workflow/benchmarks.h"
+
+namespace {
+
+using namespace chiron;
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+void BM_PgpSchedule(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  PgpConfig config;
+  PgpScheduler scheduler(config, wf, true_behaviors(wf));
+  const TimeMs slo = 80.0 + 1.5 * static_cast<TimeMs>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(slo).processes);
+  }
+}
+BENCHMARK(BM_PgpSchedule)->Arg(5)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PgpScheduleNoKl(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  PgpConfig config;
+  config.use_kl = false;
+  PgpScheduler scheduler(config, wf, true_behaviors(wf));
+  const TimeMs slo = 80.0 + 1.5 * static_cast<TimeMs>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(slo).processes);
+  }
+}
+BENCHMARK(BM_PgpScheduleNoKl)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernighanLinPass(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<FunctionId> a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<FunctionId>(i));
+    b.push_back(static_cast<FunctionId>(100 + i));
+  }
+  const PairLatencyEval eval = [](const std::vector<FunctionId>& x,
+                                  const std::vector<FunctionId>& y) {
+    double wx = 0.0, wy = 0.0;
+    for (FunctionId f : x) wx += f;
+    for (FunctionId f : y) wy += f;
+    return std::abs(wx - wy);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernighan_lin(a, b, eval).latency);
+  }
+}
+BENCHMARK(BM_KernighanLinPass)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// §3.3 / §7 micro-benchmarks (google-benchmark): the Predictor "maintains
+// sub-millisecond overhead even in scenarios with hundreds of threads";
+// the GIL engine and the full workflow estimate are measured here.
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.h"
+#include "workflow/benchmarks.h"
+
+namespace {
+
+using namespace chiron;
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+void BM_GilSimulationThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<FunctionBehavior> behaviors;
+  for (std::size_t i = 0; i < n; ++i) {
+    behaviors.push_back(i % 2 == 0 ? cpu_bound(3.0)
+                                   : disk_io_bound(2.0, 6.0, 2));
+  }
+  const auto tasks = staggered_tasks(behaviors, 0.3);
+  GilSimulator sim(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(tasks).makespan);
+  }
+  state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_GilSimulationThreads)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity();
+
+void BM_CpuShareSimulation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<FunctionBehavior> behaviors(n, cpu_bound(3.0));
+  const auto tasks = staggered_tasks(behaviors, 0.25);
+  CpuShareSimulator sim(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(tasks).makespan);
+  }
+}
+BENCHMARK(BM_CpuShareSimulation)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_WorkflowPrediction(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  Predictor predictor(
+      PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0},
+      true_behaviors(wf));
+  const WrapPlan plan = faastlane_plan(wf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.workflow_latency(plan));
+  }
+}
+BENCHMARK(BM_WorkflowPrediction)->Arg(5)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CappedWorkflowPrediction(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  Predictor predictor(
+      PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0},
+      true_behaviors(wf));
+  WrapPlan plan = sand_plan(wf);
+  plan.cpu_cap = 4;  // forces the two-level effective-behaviour simulation
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.workflow_latency(plan));
+  }
+}
+BENCHMARK(BM_CappedWorkflowPrediction)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

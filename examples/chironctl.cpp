@@ -1,0 +1,143 @@
+// chironctl — the operator-facing CLI: parse a workflow definition file,
+// deploy it with Chiron, print the plan, and optionally emit the
+// deployable artifacts (stack.yml + per-wrap handlers).
+//
+//   $ ./examples/chironctl my_workflow.json [--slo 60] [--mode native]
+//                          [--emit out_dir]
+//
+// Run without arguments to see a demo on a built-in definition.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "core/chiron.h"
+#include "core/plan_io.h"
+#include "workflow/definition.h"
+
+using namespace chiron;
+
+namespace {
+
+const char* kDemoDefinition = R"JSON({
+  "name": "image-pipeline",
+  "slo_ms": 80,
+  "runtime": "python3",
+  "stages": [
+    ["fetch"],
+    ["resize", "watermark", "classify", "thumbnail"],
+    ["store"]
+  ],
+  "functions": {
+    "fetch":     { "kind": "network", "cpu_ms": 2, "block_ms": 18,
+                   "output_kb": 512 },
+    "resize":    { "kind": "cpu", "cpu_ms": 12 },
+    "watermark": { "kind": "cpu", "cpu_ms": 7 },
+    "classify":  { "kind": "cpu", "cpu_ms": 15 },
+    "thumbnail": { "kind": "disk", "cpu_ms": 4, "block_ms": 6, "blocks": 2 },
+    "store":     { "kind": "network", "cpu_ms": 1, "block_ms": 9,
+                   "files": ["result.bin"] }
+  }
+})JSON";
+
+IsolationMode parse_mode(const std::string& mode) {
+  if (mode == "native") return IsolationMode::kNative;
+  if (mode == "mpk") return IsolationMode::kMpk;
+  if (mode == "pool") return IsolationMode::kPool;
+  throw std::invalid_argument("unknown mode '" + mode +
+                              "' (native|mpk|pool)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDemoDefinition;
+  TimeMs slo_override = 0.0;
+  IsolationMode mode = IsolationMode::kNative;
+  std::string emit_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--slo" && i + 1 < argc) {
+      slo_override = std::stod(argv[++i]);
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode = parse_mode(argv[++i]);
+    } else if (arg == "--emit" && i + 1 < argc) {
+      emit_dir = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::cerr << "cannot open " << arg << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+
+  WorkflowDefinition def;
+  try {
+    def = parse_workflow_definition(text);
+  } catch (const std::exception& e) {
+    std::cerr << "definition error: " << e.what() << "\n";
+    return 1;
+  }
+  const TimeMs slo = slo_override > 0.0 ? slo_override
+                     : def.slo_ms > 0.0 ? def.slo_ms
+                                        : 100.0;
+
+  std::cout << "workflow '" << def.workflow.name() << "': "
+            << def.workflow.stage_count() << " stages, "
+            << def.workflow.function_count() << " functions, SLO " << slo
+            << " ms, mode " << to_string(mode) << "\n\n";
+
+  ChironConfig config;
+  config.mode = mode;
+  Chiron manager(config);
+  const Deployment d = manager.deploy(def.workflow, slo);
+
+  std::cout << "predicted latency " << format_fixed(d.predicted_latency_ms, 1)
+            << " ms — SLO " << (d.slo_met ? "MET" : "NOT MET") << "\n";
+  Table plan({"stage", "wrap", "mode", "functions"});
+  for (StageId s = 0; s < d.plan.stages.size(); ++s) {
+    for (std::size_t w = 0; w < d.plan.stages[s].wraps.size(); ++w) {
+      for (const ProcessGroup& g : d.plan.stages[s].wraps[w].processes) {
+        std::string names;
+        for (FunctionId f : g.functions) {
+          if (!names.empty()) names += ", ";
+          names += def.workflow.function(f).name;
+        }
+        plan.row()
+            .add_int(s)
+            .add_int(static_cast<long long>(w))
+            .add(to_string(g.mode))
+            .add(names);
+      }
+    }
+  }
+  plan.print(std::cout);
+  std::cout << "sandboxes " << d.plan.sandbox_count() << ", CPUs "
+            << d.plan.allocated_cpus() << "\n";
+
+  if (!emit_dir.empty()) {
+    const std::filesystem::path root = emit_dir;
+    std::filesystem::create_directories(root / "wraps");
+    std::ofstream(root / "stack.yml") << d.stack_yaml;
+    std::ofstream(root / "plan.json") << serialize_plan(d.plan);
+    std::ofstream(root / "deployment.dot")
+        << generate_dot(def.workflow, d.plan);
+    for (const GeneratedWrap& wrap : d.orchestrators) {
+      std::filesystem::create_directories(root / "wraps" / wrap.name);
+      std::ofstream(root / "wraps" / wrap.name / "handler.py") << wrap.handler;
+    }
+    std::cout << "artifacts written to " << root
+              << " (stack.yml, plan.json, deployment.dot, wraps/)\n";
+  }
+  return d.slo_met ? 0 : 3;
+}

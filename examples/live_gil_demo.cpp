@@ -1,0 +1,54 @@
+// Live GIL demonstration: run the same function set on REAL OS threads
+// under the emulated GIL and free-running, and compare the wall-clock
+// against Algorithm 1's prediction — the cross-validation behind the
+// Predictor's credibility.
+//
+//   $ ./examples/live_gil_demo
+#include <iostream>
+
+#include "common/table.h"
+#include "exec/engine.h"
+#include "runtime/gil.h"
+
+using namespace chiron;
+
+int main() {
+  std::cout << "spin kernel calibration: "
+            << static_cast<long>(spin_iterations_per_ms())
+            << " iterations/ms\n\n";
+
+  struct Scenario {
+    const char* name;
+    std::vector<FunctionBehavior> behaviors;
+  };
+  const Scenario scenarios[] = {
+      {"2 CPU-bound functions (25 ms each)",
+       {cpu_bound(25.0), cpu_bound(25.0)}},
+      {"CPU + sleeper (30 ms cpu, 40 ms block)",
+       {cpu_bound(30.0), alternating({0.0, 40.0})}},
+      {"4 mixed functions",
+       {cpu_bound(15.0), disk_io_bound(5.0, 20.0, 2),
+        network_io_bound(2.0, 30.0), cpu_bound(10.0)}},
+  };
+
+  Table table({"scenario", "Algorithm 1 predicts", "real threads w/ GIL",
+               "real threads free"});
+  for (const Scenario& s : scenarios) {
+    const auto tasks = staggered_tasks(s.behaviors, 0.3);
+    GilSimulator sim(5.0);
+    const TimeMs predicted = sim.run(tasks).makespan;
+    const TimeMs with_gil = execute_threads_gil(tasks, 5.0).makespan;
+    const TimeMs free_run = execute_threads_parallel(tasks).makespan;
+    table.row()
+        .add(s.name)
+        .add_unit(predicted, "ms")
+        .add_unit(with_gil, "ms")
+        .add_unit(free_run, "ms");
+  }
+  table.print(std::cout);
+  std::cout << "\nUnder the GIL, CPU-bound threads serialise exactly as "
+               "Algorithm 1 predicts;\nblocking threads overlap. (On a "
+               "single-core machine the free-running case\nserialises too — "
+               "that is the OS scheduler, not the GIL.)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Local execution: run a Chiron deployment for real — live OS threads,
+// emulated GILs per process group, actual payloads flowing through the
+// stages — including one user-registered C++ function among the synthetic
+// kernels. Compares the measured wall clock with the Predictor.
+//
+//   $ ./examples/local_execution
+#include <iostream>
+#include <numeric>
+
+#include "common/table.h"
+#include "core/chiron.h"
+#include "local/local_runner.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+int main() {
+  const Workflow wf = make_movie_reviewing();
+  Chiron manager(ChironConfig{});
+  const Deployment d = manager.deploy(wf, /*slo_ms=*/40.0);
+  std::cout << "deployed " << wf.name() << ": predicted "
+            << format_fixed(d.predicted_latency_ms, 1) << " ms, "
+            << d.plan.sandbox_count() << " sandbox(es)\n\n";
+
+  LocalDeployment runner(wf, d.plan, LocalConfig{});
+  // Replace one synthetic kernel with real code.
+  runner.register_function("rate_movie", [](const Payload& in) {
+    // Pretend to compute a rating from the request payload.
+    const int rating =
+        static_cast<int>(std::accumulate(in.begin(), in.end(), 0u) % 5) + 1;
+    return "rating=" + std::to_string(rating);
+  });
+
+  Table table({"request", "wall clock", "functions run"});
+  for (int i = 0; i < 5; ++i) {
+    const LocalRunResult result =
+        runner.invoke("review-payload-" + std::to_string(i));
+    table.row()
+        .add_int(i)
+        .add_unit(result.e2e_latency_ms, "ms")
+        .add_int(static_cast<long long>(result.functions.size()));
+    if (i == 0) {
+      std::cout << "first response payload: " << result.output << "\n\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery request executed on live threads: thread groups "
+               "shared an emulated\ninterpreter, forked groups ran truly "
+               "parallel, and the registered C++\nfunction handled "
+               "'rate_movie'.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Social-network post pipeline (DeathStarBench-style, the paper's SN
+// benchmark): deploy with Chiron under a tightening SLO and watch the
+// deployment morph from one thread-packed sandbox towards more processes
+// and sandboxes; then compare against every evaluated system.
+//
+//   $ ./examples/social_network_pipeline
+#include <iostream>
+
+#include "common/table.h"
+#include "core/chiron.h"
+#include "platform/systems.h"
+#include "workflow/benchmarks.h"
+
+using namespace chiron;
+
+int main() {
+  const Workflow wf = make_social_network();
+  std::cout << "SocialNetwork: " << wf.stage_count() << " stages, "
+            << wf.function_count() << " functions, max parallelism "
+            << wf.max_parallelism() << ", ideal latency "
+            << format_fixed(wf.ideal_latency(), 1) << " ms\n\n";
+
+  // 1. SLO sweep: tighter SLOs buy latency with resources.
+  std::cout << "--- Chiron deployments as the SLO tightens ---\n";
+  Table sweep({"SLO", "predicted", "met", "sandboxes", "processes", "CPUs"});
+  for (TimeMs slo : {100.0, 60.0, 40.0, 25.0, 18.0, 14.0}) {
+    Chiron manager(ChironConfig{});
+    const Deployment d = manager.deploy(wf, slo);
+    sweep.row()
+        .add_unit(slo, "ms")
+        .add_unit(d.predicted_latency_ms, "ms")
+        .add(d.slo_met ? "yes" : "NO")
+        .add_int(static_cast<long long>(d.plan.sandbox_count()))
+        .add_int(static_cast<long long>(d.plan.peak_processes()))
+        .add_int(static_cast<long long>(d.plan.allocated_cpus()));
+  }
+  sweep.print(std::cout);
+
+  // 2. Cross-system comparison at the paper's default SLO.
+  SystemOptions opts;
+  std::cout << "\n--- all systems at SLO = Faastlane + 10 ms ---\n";
+  Table systems({"system", "latency", "memory", "CPUs", "throughput"});
+  for (const std::string& name : fig13_systems()) {
+    const auto backend = make_system(name, wf, opts);
+    Rng rng(11);
+    const SystemEval eval = evaluate_system(*backend, opts.params, rng, 10);
+    systems.row()
+        .add(name)
+        .add_unit(eval.mean_latency_ms, "ms")
+        .add_unit(eval.usage.memory_mb, "MB")
+        .add(eval.usage.cpus, 0)
+        .add(format_fixed(eval.throughput_rps, 0) + " rps");
+  }
+  systems.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benches and examples narrate through this; the
+// default level is kWarn so library code is silent inside tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chiron {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: `LOG(kInfo) << "built " << n << " wraps";`
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) internal::log_line(level_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace chiron
+
+#define CHIRON_LOG(level) ::chiron::LogMessage(::chiron::LogLevel::level)

@@ -1,0 +1,52 @@
+// ASCII table printer used by the bench harness to emit paper-shaped rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chiron {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+/// Numeric helpers format with a fixed precision so benches stay terse.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  Table& row();
+
+  /// Appends a string cell to the current row.
+  Table& add(std::string cell);
+
+  /// Appends a formatted double (fixed, `precision` decimals).
+  Table& add(double value, int precision = 2);
+
+  /// Appends an integer cell.
+  Table& add_int(long long value);
+
+  /// Appends `value` followed by a unit suffix, e.g. add_unit(3.2, "ms").
+  Table& add_unit(double value, const std::string& unit, int precision = 1);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+  /// Renders as CSV (RFC-4180 quoting) for downstream plotting scripts.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision; helper shared with benches.
+std::string format_fixed(double value, int precision);
+
+}  // namespace chiron

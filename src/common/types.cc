@@ -1,0 +1,32 @@
+#include "common/types.h"
+
+namespace chiron {
+
+std::string to_string(Runtime rt) {
+  switch (rt) {
+    case Runtime::kPython3: return "python3";
+    case Runtime::kNodeJs: return "nodejs";
+    case Runtime::kJava: return "java";
+  }
+  return "unknown";
+}
+
+std::string to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::kProcess: return "process";
+    case ExecMode::kThread: return "thread";
+  }
+  return "unknown";
+}
+
+std::string to_string(IsolationMode m) {
+  switch (m) {
+    case IsolationMode::kNative: return "native";
+    case IsolationMode::kMpk: return "mpk";
+    case IsolationMode::kSfi: return "sfi";
+    case IsolationMode::kPool: return "pool";
+  }
+  return "unknown";
+}
+
+}  // namespace chiron

@@ -1,0 +1,82 @@
+#include "core/chiron.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chiron {
+
+Chiron::Chiron(ChironConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
+  if (slo_ms <= 0.0) throw std::invalid_argument("SLO must be positive");
+  wf.validate();
+
+  Deployment deployment;
+
+  // Step 2 (Fig. 9): profile every function solo.
+  Profiler profiler(config_.profiler, rng_.split());
+  deployment.profiles = profiler.profile_workflow(wf);
+  std::vector<FunctionBehavior> behaviors =
+      Profiler::behaviors(deployment.profiles);
+
+  const Runtime runtime =
+      wf.function_count() > 0 ? wf.function(0).runtime : Runtime::kPython3;
+
+  if (config_.mode == IsolationMode::kPool) {
+    // §4: pool workers give true parallelism with negligible startup, so
+    // all functions share a single wrap; only the CPU allocation is tuned.
+    Predictor predictor(
+        PredictorConfig{config_.params, runtime, config_.conservative_factor},
+        behaviors);
+    WrapPlan plan = pool_plan(wf);
+    // Same bounded give-back as PGP: CPU sharing may cost at most ~10 %
+    // latency relative to the fully-parallel pool.
+    const TimeMs uncapped = predictor.workflow_latency(plan);
+    const TimeMs target = std::min(slo_ms, uncapped * 1.10);
+    plan = PgpScheduler::with_min_cpus(predictor, std::move(plan), target);
+    deployment.predicted_latency_ms = predictor.workflow_latency(plan);
+    deployment.slo_met = deployment.predicted_latency_ms <= slo_ms;
+    deployment.processes = plan.peak_stage_functions();
+    deployment.plan = std::move(plan);
+  } else {
+    PgpConfig pgp_config;
+    pgp_config.params = config_.params;
+    pgp_config.mode = config_.mode;
+    pgp_config.runtime = runtime;
+    pgp_config.conservative_factor = config_.conservative_factor;
+    pgp_config.use_kl = config_.use_kl;
+    PgpScheduler scheduler(pgp_config, wf, behaviors);
+    PgpResult result = scheduler.schedule(slo_ms);
+    deployment.plan = std::move(result.plan);
+    deployment.predicted_latency_ms = result.predicted_latency_ms;
+    deployment.slo_met = result.slo_met;
+    deployment.processes = result.processes;
+    deployment.stats = result.stats;
+  }
+
+  // Steps 4-5: emit the deployable artifacts.
+  deployment.orchestrators = generate_orchestrators(wf, deployment.plan);
+  deployment.stack_yaml = generate_stack_yaml(wf, deployment.plan);
+  return deployment;
+}
+
+DynamicDeployment Chiron::deploy_dynamic(const BranchingWorkflow& wf,
+                                         TimeMs slo_ms) {
+  wf.validate();
+  DynamicDeployment dynamic;
+  std::vector<double> latencies;
+  dynamic.slo_met = true;
+  for (std::size_t i = 0; i < wf.branch_count(); ++i) {
+    Deployment d = deploy(wf.resolve(i), slo_ms);
+    dynamic.slo_met = dynamic.slo_met && d.slo_met;
+    dynamic.worst_case_latency_ms =
+        std::max(dynamic.worst_case_latency_ms, d.predicted_latency_ms);
+    latencies.push_back(d.predicted_latency_ms);
+    dynamic.variants.push_back(std::move(d));
+  }
+  dynamic.expected_latency_ms = wf.expected(latencies);
+  return dynamic;
+}
+
+}  // namespace chiron

@@ -1,0 +1,74 @@
+// The Chiron deployment manager facade (paper Fig. 9): submit a workflow
+// and an SLO, get back a complete deployment — profiled behaviours, a wrap
+// plan from PGP, orchestrator code per wrap, and a conservative latency
+// prediction. Re-deploying with fresh profiles models the periodic
+// Profiler/PGP refresh of §3.4.
+#pragma once
+
+#include <cstdint>
+
+#include "core/generator.h"
+#include "core/pgp.h"
+#include "core/profiler.h"
+#include "core/wrap.h"
+#include "runtime/params.h"
+#include "workflow/branching.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Deployment-manager configuration.
+struct ChironConfig {
+  RuntimeParams params;
+  IsolationMode mode = IsolationMode::kNative;
+  ProfilerConfig profiler;
+  double conservative_factor = 1.08;
+  bool use_kl = true;
+  std::uint64_t seed = 0xC41503;
+};
+
+/// Everything Chiron produces for one workflow submission.
+struct Deployment {
+  WrapPlan plan;
+  TimeMs predicted_latency_ms = 0.0;
+  bool slo_met = false;
+  std::size_t processes = 0;
+  std::vector<Profile> profiles;
+  PgpStats stats;
+  std::vector<GeneratedWrap> orchestrators;
+  std::string stack_yaml;
+};
+
+/// A dynamic-DAG deployment (§7 "Dynamic DAGs"): one planned variant per
+/// runtime-selectable branch, all guaranteed against the same SLO.
+struct DynamicDeployment {
+  std::vector<Deployment> variants;  ///< index-aligned with the branches
+  /// Probability-weighted expected latency over the branches.
+  TimeMs expected_latency_ms = 0.0;
+  /// The slowest variant's prediction (what the SLO is guaranteed on).
+  TimeMs worst_case_latency_ms = 0.0;
+  bool slo_met = false;  ///< every variant within the SLO
+};
+
+/// The deployment manager.
+class Chiron {
+ public:
+  explicit Chiron(ChironConfig config);
+
+  /// Fig. 9 steps 1-5: profile every function, run PGP (or the pool-mode
+  /// single-wrap path), minimise CPUs, and generate the wrap artifacts.
+  Deployment deploy(const Workflow& wf, TimeMs slo_ms);
+
+  /// Dynamic-DAG deployment: resolves every branch of `wf`, plans each
+  /// variant against `slo_ms` (worst-case guarantee), and reports the
+  /// expected latency under the branch probabilities.
+  DynamicDeployment deploy_dynamic(const BranchingWorkflow& wf, TimeMs slo_ms);
+
+  const ChironConfig& config() const { return config_; }
+
+ private:
+  ChironConfig config_;
+  Rng rng_;
+};
+
+}  // namespace chiron

@@ -1,0 +1,41 @@
+// The Generator (paper §3.1 step 4 / §5): emits the orchestrator handler
+// source for each wrap. The orchestrator is bundled with the wrap's
+// functions and deployed as a "new function"; it forks the wrap's process
+// groups, spawns threads inside them, pins CPU affinity, and invokes the
+// downstream wraps over HTTP.
+//
+// The emitted code is OpenFaaS-style Python (the paper's target); this
+// repository does not execute it — it is the deployable artifact a real
+// cluster would run, and tests assert its structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wrap.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// One generated deployment unit.
+struct GeneratedWrap {
+  std::string name;      ///< e.g. "finra-5-s1-w0"
+  StageId stage = 0;
+  std::size_t index = 0; ///< wrap index within the stage
+  std::string handler;   ///< handler.py source
+};
+
+/// Emits one handler per wrap of `plan`.
+std::vector<GeneratedWrap> generate_orchestrators(const Workflow& wf,
+                                                  const WrapPlan& plan);
+
+/// Emits the OpenFaaS stack.yml that deploys every generated wrap.
+std::string generate_stack_yaml(const Workflow& wf, const WrapPlan& plan);
+
+/// Emits a Graphviz DOT rendering of the deployment: one cluster per
+/// wrap (grouped by stage), function nodes labelled with their execution
+/// mode, invocation edges between consecutive stages and from each
+/// stage's coordinator to its sibling wraps.
+std::string generate_dot(const Workflow& wf, const WrapPlan& plan);
+
+}  // namespace chiron

@@ -1,0 +1,89 @@
+#include "core/kernighan_lin.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace chiron {
+namespace {
+
+// Swaps working[a_pos] (in set A) with working[b_pos] (in set B).
+void apply_swap(std::vector<FunctionId>& a, std::vector<FunctionId>& b,
+                std::size_t a_pos, std::size_t b_pos) {
+  std::swap(a[a_pos], b[b_pos]);
+}
+
+}  // namespace
+
+KlResult kernighan_lin(std::vector<FunctionId> a, std::vector<FunctionId> b,
+                       const PairLatencyEval& eval) {
+  KlResult result;
+  result.evaluations = 1;
+  TimeMs current = eval(a, b);
+
+  // Working copies that accumulate tentative swaps; `locked_*` marks
+  // positions already swapped (removed from A'/B' in the paper).
+  std::vector<FunctionId> wa = a;
+  std::vector<FunctionId> wb = b;
+  std::vector<bool> locked_a(wa.size(), false);
+  std::vector<bool> locked_b(wb.size(), false);
+
+  struct SwapOp {
+    std::size_t a_pos;
+    std::size_t b_pos;
+    TimeMs gain;
+  };
+  std::vector<SwapOp> ops;
+  TimeMs working_latency = current;
+
+  const std::size_t rounds = std::min(wa.size(), wb.size());
+  for (std::size_t round = 0; round < rounds; ++round) {
+    TimeMs best_latency = std::numeric_limits<TimeMs>::infinity();
+    std::size_t best_i = wa.size(), best_j = wb.size();
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      if (locked_a[i]) continue;
+      for (std::size_t j = 0; j < wb.size(); ++j) {
+        if (locked_b[j]) continue;
+        apply_swap(wa, wb, i, j);
+        const TimeMs t = eval(wa, wb);
+        ++result.evaluations;
+        apply_swap(wa, wb, i, j);  // undo
+        if (t < best_latency) {
+          best_latency = t;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i == wa.size()) break;  // nothing swappable left
+    apply_swap(wa, wb, best_i, best_j);
+    locked_a[best_i] = true;
+    locked_b[best_j] = true;
+    ops.push_back({best_i, best_j, working_latency - best_latency});
+    working_latency = best_latency;
+  }
+
+  // Best cumulative-gain prefix (k = argmax_k sum_{i<=k} g_i, only if the
+  // best prefix is an improvement).
+  TimeMs cumulative = 0.0, best_cumulative = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    cumulative += ops[k].gain;
+    if (cumulative > best_cumulative) {
+      best_cumulative = cumulative;
+      best_k = k + 1;
+    }
+  }
+  for (std::size_t k = 0; k < best_k; ++k) {
+    apply_swap(a, b, ops[k].a_pos, ops[k].b_pos);
+  }
+
+  result.a = std::move(a);
+  result.b = std::move(b);
+  result.swaps_applied = best_k;
+  result.latency = best_k == 0 ? current : eval(result.a, result.b);
+  if (best_k != 0) ++result.evaluations;
+  return result;
+}
+
+}  // namespace chiron

@@ -1,0 +1,273 @@
+#include "core/pgp.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/kernighan_lin.h"
+
+namespace chiron {
+namespace {
+
+// Builds the ProcessGroup vector for a set of function sets; group 0 of a
+// stage runs as threads of the resident orchestrator (no fork cost), the
+// rest are forked processes.
+std::vector<ProcessGroup> to_groups(std::vector<std::vector<FunctionId>> sets) {
+  std::vector<ProcessGroup> groups;
+  groups.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    ProcessGroup g;
+    g.functions = std::move(sets[i]);
+    g.mode = i == 0 ? ExecMode::kThread : ExecMode::kProcess;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace
+
+PgpScheduler::PgpScheduler(PgpConfig config, Workflow wf,
+                           std::vector<FunctionBehavior> profiles)
+    : config_(std::move(config)),
+      wf_(std::move(wf)),
+      predictor_(
+          PredictorConfig{config_.params, config_.runtime,
+                          config_.conservative_factor},
+          std::move(profiles)) {
+  if (predictor_.profiles().size() < wf_.function_count()) {
+    throw std::invalid_argument("profiles do not cover the workflow");
+  }
+}
+
+std::vector<FunctionId> PgpScheduler::conflicted_functions(StageId s) const {
+  const Stage& stage = wf_.stage(s);
+  // Majority runtime tag of the stage; functions off-tag are isolated.
+  std::map<std::string, std::size_t> tag_counts;
+  for (FunctionId f : stage.functions) {
+    ++tag_counts[wf_.function(f).runtime_tag];
+  }
+  std::string majority;
+  std::size_t best = 0;
+  for (const auto& [tag, count] : tag_counts) {
+    if (count > best) {
+      best = count;
+      majority = tag;
+    }
+  }
+  // File conflicts: any two functions writing the same file.
+  std::map<std::string, std::vector<FunctionId>> writers;
+  for (FunctionId f : stage.functions) {
+    for (const std::string& file : wf_.function(f).files_written) {
+      writers[file].push_back(f);
+    }
+  }
+  std::set<FunctionId> conflicted;
+  for (FunctionId f : stage.functions) {
+    if (wf_.function(f).runtime_tag != majority) conflicted.insert(f);
+  }
+  for (const auto& [file, fns] : writers) {
+    if (fns.size() > 1) {
+      // Keep the first writer shareable; isolate the rest.
+      for (std::size_t i = 1; i < fns.size(); ++i) conflicted.insert(fns[i]);
+    }
+  }
+  return {conflicted.begin(), conflicted.end()};
+}
+
+std::size_t PgpScheduler::search_wrap_count(std::size_t group_count) const {
+  if (group_count == 0) return 0;
+  const double ratio =
+      config_.params.rpc_ms / std::max(config_.params.process_block_ms, 1e-6);
+  const std::size_t fill =
+      std::max<std::size_t>(1, static_cast<std::size_t>(ratio));
+  return (group_count + fill - 1) / fill;
+}
+
+std::vector<ProcessGroup> PgpScheduler::partition_stage(
+    StageId s, std::size_t n, PgpStats& stats) const {
+  const std::vector<FunctionId> conflicted = conflicted_functions(s);
+  const std::set<FunctionId> conflicted_set(conflicted.begin(),
+                                            conflicted.end());
+  std::vector<FunctionId> fns;
+  for (FunctionId f : wf_.stage(s).functions) {
+    if (!conflicted_set.count(f)) fns.push_back(f);
+  }
+  if (fns.empty()) return {};
+
+  std::size_t k = std::min<std::size_t>(n, fns.size());
+  // MPK pkey exhaustion: a process cannot isolate more than
+  // kMpkMaxThreadsPerProcess threads, so wide stages need a process-count
+  // floor regardless of the requested n.
+  if (config_.mode == IsolationMode::kMpk) {
+    const std::size_t floor_k =
+        (fns.size() + kMpkMaxThreadsPerProcess - 1) /
+        kMpkMaxThreadsPerProcess;
+    k = std::max(k, floor_k);
+  }
+  // Round-robin init (Algorithm 2 line 9): {f1, f_{n+1}, ...}, {f2, ...}.
+  std::vector<std::vector<FunctionId>> sets(k);
+  for (std::size_t i = 0; i < fns.size(); ++i) sets[i % k].push_back(fns[i]);
+
+  if (config_.use_kl && k > 1 && fns.size() <= config_.kl_function_limit) {
+    // KL over every pair of process sets (Algorithm 2 lines 10-11). The
+    // evaluation swaps a pair in place and predicts the stage latency with
+    // the search-phase wrap layout.
+    for (std::size_t p = 0; p + 1 < sets.size(); ++p) {
+      for (std::size_t q = p + 1; q < sets.size(); ++q) {
+        PairLatencyEval eval = [&](const std::vector<FunctionId>& a,
+                                   const std::vector<FunctionId>& b) {
+          std::vector<std::vector<FunctionId>> candidate = sets;
+          candidate[p] = a;
+          candidate[q] = b;
+          StagePlan sp = layout_stage(s, to_groups(std::move(candidate)),
+                                      search_wrap_count(k));
+          ++stats.predictor_calls;
+          return predictor_.stage_latency(sp, config_.mode);
+        };
+        KlResult kl = kernighan_lin(sets[p], sets[q], eval);
+        stats.kl_evaluations += kl.evaluations;
+        sets[p] = std::move(kl.a);
+        sets[q] = std::move(kl.b);
+      }
+    }
+  }
+  return to_groups(std::move(sets));
+}
+
+StagePlan PgpScheduler::layout_stage(StageId s,
+                                     std::vector<ProcessGroup> groups,
+                                     std::size_t wrap_count) const {
+  StagePlan sp;
+  if (!groups.empty()) {
+    const std::size_t w = std::max<std::size_t>(
+        1, std::min(wrap_count, groups.size()));
+    sp.wraps.resize(w);
+    // Balanced contiguous chunks preserve fork order within each wrap.
+    const std::size_t base = groups.size() / w;
+    const std::size_t extra = groups.size() % w;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t take = base + (i < extra ? 1 : 0);
+      for (std::size_t j = 0; j < take; ++j) {
+        ProcessGroup g = groups[next++];
+        // Only the first wrap hosts the resident orchestrator; groups
+        // landing elsewhere must fork.
+        if (g.mode == ExecMode::kThread && !(i == 0 && j == 0)) {
+          g.mode = ExecMode::kProcess;
+        }
+        sp.wraps[i].processes.push_back(std::move(g));
+      }
+    }
+  }
+  // Conflicted functions: dedicated single-function sandboxes (§3.4).
+  for (FunctionId f : conflicted_functions(s)) {
+    Wrap w;
+    ProcessGroup g;
+    g.functions = {f};
+    g.mode = ExecMode::kThread;  // sole occupant of its sandbox
+    w.processes.push_back(std::move(g));
+    sp.wraps.push_back(std::move(w));
+  }
+  if (sp.wraps.empty()) {
+    throw std::logic_error("stage layout produced no wraps");
+  }
+  return sp;
+}
+
+PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
+  PgpResult result;
+  const std::size_t max_n = std::max<std::size_t>(1, wf_.max_parallelism());
+
+  // Outer loop (Algorithm 2 lines 3-12): grow n until the SLO is met.
+  std::vector<std::vector<ProcessGroup>> stage_groups(wf_.stage_count());
+  WrapPlan plan;
+  TimeMs predicted = kInfiniteTime;
+  std::size_t chosen_n = max_n;
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    ++result.stats.outer_iterations;
+    WrapPlan candidate;
+    candidate.mode = config_.mode;
+    std::vector<std::vector<ProcessGroup>> groups(wf_.stage_count());
+    for (StageId s = 0; s < wf_.stage_count(); ++s) {
+      groups[s] = partition_stage(s, n, result.stats);
+      candidate.stages.push_back(
+          layout_stage(s, groups[s], search_wrap_count(groups[s].size())));
+    }
+    ++result.stats.predictor_calls;
+    const TimeMs t = predictor_.workflow_latency(candidate);
+    if (t < predicted || n == 1) {
+      plan = candidate;
+      predicted = t;
+      stage_groups = groups;
+      chosen_n = n;
+    }
+    if (t <= slo_ms) {
+      plan = std::move(candidate);
+      predicted = t;
+      stage_groups = std::move(groups);
+      chosen_n = n;
+      break;
+    }
+  }
+  result.processes = chosen_n;
+  result.slo_met = predicted <= slo_ms;
+
+  // Resource phases run against a tighter internal target: the SLO, but
+  // never giving back more than `resource_slack` of the achieved latency.
+  const TimeMs target =
+      std::min(slo_ms, predicted * (1.0 + config_.resource_slack));
+
+  // Packing (lines 13-16): per stage, deploy the fewest wraps (max
+  // processes per wrap) that keep the whole workflow inside the target.
+  if (result.slo_met) {
+    for (StageId s = 0; s < wf_.stage_count(); ++s) {
+      const std::size_t group_count = stage_groups[s].size();
+      for (std::size_t w = 1; w <= std::max<std::size_t>(1, group_count); ++w) {
+        WrapPlan candidate = plan;
+        candidate.stages[s] = layout_stage(s, stage_groups[s], w);
+        ++result.stats.predictor_calls;
+        const TimeMs t = predictor_.workflow_latency(candidate);
+        if (t <= target) {
+          plan = std::move(candidate);
+          predicted = t;
+          break;
+        }
+      }
+    }
+  }
+
+  // CPU minimisation: smallest allocation inside the target.
+  if (config_.minimize_cpus && result.slo_met) {
+    plan = with_min_cpus(predictor_, std::move(plan), target);
+    if (plan.cpu_cap > 0) {
+      ++result.stats.predictor_calls;
+      predicted = predictor_.workflow_latency(plan);
+    }
+  }
+
+  plan.validate(wf_);
+  result.plan = std::move(plan);
+  result.predicted_latency_ms = predicted;
+  return result;
+}
+
+WrapPlan PgpScheduler::with_min_cpus(const Predictor& predictor,
+                                     WrapPlan plan, TimeMs slo_ms) {
+  // Pool deployments parallelise per worker (one per function), process
+  // deployments per process; the cap search covers both.
+  const std::size_t peak =
+      plan.mode == IsolationMode::kPool
+          ? plan.peak_stage_functions()
+          : plan.peak_processes();
+  for (std::size_t c = 1; c < peak; ++c) {
+    WrapPlan candidate = plan;
+    candidate.cpu_cap = c;
+    if (predictor.workflow_latency(candidate) <= slo_ms) {
+      return candidate;
+    }
+  }
+  return plan;
+}
+
+}  // namespace chiron

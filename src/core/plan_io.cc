@@ -1,0 +1,81 @@
+#include "core/plan_io.h"
+
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace chiron {
+namespace {
+
+std::string mode_name(IsolationMode mode) { return to_string(mode); }
+
+IsolationMode parse_isolation(const std::string& name) {
+  if (name == "native") return IsolationMode::kNative;
+  if (name == "mpk") return IsolationMode::kMpk;
+  if (name == "sfi") return IsolationMode::kSfi;
+  if (name == "pool") return IsolationMode::kPool;
+  throw std::invalid_argument("unknown isolation mode '" + name + "'");
+}
+
+ExecMode parse_exec(const std::string& name) {
+  if (name == "thread") return ExecMode::kThread;
+  if (name == "process") return ExecMode::kProcess;
+  throw std::invalid_argument("unknown exec mode '" + name + "'");
+}
+
+}  // namespace
+
+std::string serialize_plan(const WrapPlan& plan) {
+  json::Object root;
+  root.emplace("mode", json::Value(mode_name(plan.mode)));
+  root.emplace("cpu_cap", json::Value(static_cast<double>(plan.cpu_cap)));
+  json::Array stages;
+  for (const StagePlan& sp : plan.stages) {
+    json::Array wraps;
+    for (const Wrap& w : sp.wraps) {
+      json::Array groups;
+      for (const ProcessGroup& g : w.processes) {
+        json::Object group;
+        group.emplace("mode", json::Value(to_string(g.mode)));
+        json::Array fns;
+        for (FunctionId f : g.functions) {
+          fns.push_back(json::Value(static_cast<double>(f)));
+        }
+        group.emplace("functions", json::Value(std::move(fns)));
+        groups.push_back(json::Value(std::move(group)));
+      }
+      wraps.push_back(json::Value(std::move(groups)));
+    }
+    stages.push_back(json::Value(std::move(wraps)));
+  }
+  root.emplace("stages", json::Value(std::move(stages)));
+  return json::dump(json::Value(std::move(root)));
+}
+
+WrapPlan parse_plan(const std::string& json_text) {
+  const json::Value doc = json::parse(json_text);
+  WrapPlan plan;
+  plan.mode = parse_isolation(doc.string_or("mode", "native"));
+  plan.cpu_cap = static_cast<std::size_t>(doc.number_or("cpu_cap", 0.0));
+  for (const json::Value& stage_value : doc.at("stages").as_array()) {
+    StagePlan sp;
+    for (const json::Value& wrap_value : stage_value.as_array()) {
+      Wrap w;
+      for (const json::Value& group_value : wrap_value.as_array()) {
+        ProcessGroup g;
+        g.mode = parse_exec(group_value.string_or("mode", "process"));
+        for (const json::Value& f : group_value.at("functions").as_array()) {
+          const double id = f.as_number();
+          if (id < 0.0) throw std::invalid_argument("negative function id");
+          g.functions.push_back(static_cast<FunctionId>(id));
+        }
+        w.processes.push_back(std::move(g));
+      }
+      sp.wraps.push_back(std::move(w));
+    }
+    plan.stages.push_back(std::move(sp));
+  }
+  return plan;
+}
+
+}  // namespace chiron

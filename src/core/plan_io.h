@@ -1,0 +1,28 @@
+// WrapPlan (de)serialisation: the deployment artifact Chiron's Scheduler
+// hands to the platform can be persisted and shipped — chironctl emits it
+// alongside the stack.yml, and a runner can reload it without re-running
+// PGP. Format:
+//
+//   { "mode": "native", "cpu_cap": 3,
+//     "stages": [                      // one entry per stage
+//       [                              // one entry per wrap
+//         { "mode": "thread",  "functions": [0, 1] },
+//         { "mode": "process", "functions": [2] }
+//       ]
+//     ] }
+#pragma once
+
+#include <string>
+
+#include "core/wrap.h"
+
+namespace chiron {
+
+/// Serialises `plan` to JSON.
+std::string serialize_plan(const WrapPlan& plan);
+
+/// Parses a plan serialised by serialize_plan(). Structural validation
+/// against a workflow is the caller's job (WrapPlan::validate).
+WrapPlan parse_plan(const std::string& json_text);
+
+}  // namespace chiron

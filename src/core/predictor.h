@@ -1,0 +1,99 @@
+// The white-box latency Predictor (paper §3.3).
+//
+//   Eq. (1): T_workflow = sum_i T_stage_i
+//   Eq. (2): T_stage    = max(T_wrap_1, max_{k>1}(T_wrap_k + (k-1) T_INV)
+//                              + T_RPC)
+//   Eq. (3): T_wrap     = max_j T_P_j + T_IPC (|P| - 1)
+//   Eq. (4): T_P_j      = (j-1) T_Block + T_Startup + T_exec_j
+//
+// T_exec of a multi-thread process comes from Algorithm 1: an event-driven
+// simulation of GIL switching over the profiled CPU/block periods
+// (runtime/gil.h). Pool and Java configurations replace the GIL engine
+// with true-parallel processor sharing.
+//
+// When a plan caps its CPU allocation below the number of concurrent
+// processes, the stage estimate runs a second level of simulation: each
+// process is collapsed into its effective CPU/block profile (the union of
+// the instants its threads hold the GIL) and the processes time-share the
+// allocated cores.
+#pragma once
+
+#include <vector>
+
+#include "core/wrap.h"
+#include "runtime/gil.h"
+#include "runtime/params.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Predictor configuration.
+struct PredictorConfig {
+  RuntimeParams params;
+  Runtime runtime = Runtime::kPython3;
+  /// Multiplies the final estimate; Chiron plans with a conservative
+  /// factor > 1 to keep SLO violations rare (§6.2, Fig. 14).
+  double conservative_factor = 1.0;
+};
+
+/// Collapses an interleaving result into the process's outward CPU/block
+/// profile: CPU whenever any thread held the GIL, block otherwise, over
+/// [0, makespan]. Exposed for tests and the platform simulator.
+FunctionBehavior effective_behavior(const InterleaveResult& result);
+
+/// White-box workflow latency predictor.
+class Predictor {
+ public:
+  /// `profiles[f]` is the (profiled) behaviour of function f. The vector
+  /// must cover every function id used by the plans passed later.
+  Predictor(PredictorConfig config, std::vector<FunctionBehavior> profiles);
+
+  /// Algorithm 1: makespan of running `behaviors` as threads of one
+  /// process, children started one per spawn gap. Uses GIL interleaving
+  /// for Python/Node, true parallelism for Java.
+  TimeMs thread_exec(const std::vector<FunctionBehavior>& behaviors,
+                     IsolationMode mode) const;
+
+  /// Eq. (4): latency of group `g`, the `fork_index`-th forked process of
+  /// its wrap (0 for the orchestrator-resident thread group).
+  TimeMs process_latency(const ProcessGroup& g, std::size_t fork_index,
+                         IsolationMode mode) const;
+
+  /// Eq. (3): latency of one wrap.
+  TimeMs wrap_latency(const Wrap& w, IsolationMode mode,
+                      std::size_t cpu_cap = 0) const;
+
+  /// Eq. (2): latency of one stage (applies cpu_cap if the plan sets one).
+  TimeMs stage_latency(const StagePlan& sp, IsolationMode mode,
+                       std::size_t cpu_cap = 0) const;
+
+  /// Eq. (1): end-to-end workflow latency of `plan` (times the
+  /// conservative factor).
+  TimeMs workflow_latency(const WrapPlan& plan) const;
+
+  const PredictorConfig& config() const { return config_; }
+  const std::vector<FunctionBehavior>& profiles() const { return profiles_; }
+
+ private:
+  /// Behaviour of `f` as executed under `mode` in a thread context
+  /// (isolation CPU overhead and co-resident-thread contention applied)
+  /// or process context (unmodified). `co_resident` counts the threads
+  /// sharing f's interpreter, including f.
+  FunctionBehavior behavior_for(FunctionId f, IsolationMode mode,
+                                bool thread_context,
+                                std::size_t co_resident) const;
+  /// Spawn gap between sibling threads under `mode`.
+  TimeMs spawn_gap(IsolationMode mode) const;
+  /// Runs the right interleaving engine for this runtime/mode.
+  InterleaveResult run_exec(const std::vector<ThreadTask>& tasks,
+                            IsolationMode mode, std::size_t cpus,
+                            bool record_spans) const;
+  /// Group exec makespan + effective behaviour (for capped stage sim).
+  InterleaveResult group_exec(const ProcessGroup& g, IsolationMode mode,
+                              bool record_spans) const;
+
+  PredictorConfig config_;
+  std::vector<FunctionBehavior> profiles_;
+};
+
+}  // namespace chiron

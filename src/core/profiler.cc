@@ -1,0 +1,70 @@
+#include "core/profiler.h"
+
+#include <stdexcept>
+
+namespace chiron {
+
+Profiler::Profiler(ProfilerConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.solo_runs <= 0) {
+    throw std::invalid_argument("solo_runs must be positive");
+  }
+}
+
+Profile Profiler::profile(const FunctionSpec& spec) {
+  const FunctionBehavior& truth = spec.behavior;
+
+  // 1. Untraced runs: average latency with run-to-run jitter.
+  TimeMs latency_sum = 0.0;
+  for (int run = 0; run < config_.solo_runs; ++run) {
+    latency_sum += truth.solo_latency() * rng_.jitter(config_.jitter_sigma);
+  }
+  const TimeMs avg_latency =
+      latency_sum / static_cast<TimeMs>(config_.solo_runs);
+
+  // 2. One traced run: every period dilated by the strace overhead of its
+  // kind, plus jitter — what the strace log (Fig. 10) reports.
+  std::vector<Segment> observed;
+  observed.reserve(truth.segments().size());
+  for (const Segment& s : truth.segments()) {
+    const double overhead = s.kind == Segment::Kind::kBlock
+                                ? config_.strace_block_overhead
+                                : config_.strace_cpu_overhead;
+    observed.push_back(
+        {s.kind, s.duration * (1.0 + overhead) * rng_.jitter(config_.jitter_sigma)});
+  }
+  const FunctionBehavior traced{std::move(observed)};
+
+  // 3. Correction: rescale the traced timeline so its total matches the
+  // untraced average latency.
+  const TimeMs traced_latency = traced.solo_latency();
+  FunctionBehavior reconstructed =
+      traced_latency > 0.0 ? traced.scaled(avg_latency / traced_latency)
+                           : traced;
+
+  Profile p;
+  p.name = spec.name;
+  p.solo_latency_ms = avg_latency;
+  p.behavior = std::move(reconstructed);
+  p.block_periods = p.behavior.block_periods();
+  return p;
+}
+
+std::vector<Profile> Profiler::profile_workflow(const Workflow& wf) {
+  std::vector<Profile> profiles;
+  profiles.reserve(wf.function_count());
+  for (const FunctionSpec& spec : wf.functions()) {
+    profiles.push_back(profile(spec));
+  }
+  return profiles;
+}
+
+std::vector<FunctionBehavior> Profiler::behaviors(
+    const std::vector<Profile>& profiles) {
+  std::vector<FunctionBehavior> result;
+  result.reserve(profiles.size());
+  for (const Profile& p : profiles) result.push_back(p.behavior);
+  return result;
+}
+
+}  // namespace chiron

@@ -1,0 +1,65 @@
+// The Profiler (paper §3.2): observes each function's solo execution
+// through an strace-like channel that records block syscall periods but
+// inflates durations with tracing overhead, plus a set of untraced runs
+// that measure the true average latency. The reconstructed behaviour is
+// the traced trace rescaled to the untraced latency — the paper's
+// "scales down all block periods based on the average function latency
+// recorded without strace" correction.
+//
+// The residual mismatch between CPU and block inflation is what gives the
+// white-box Predictor its small but non-zero error (Fig. 12).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workflow/behavior.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Measurement-channel parameters.
+struct ProfilerConfig {
+  /// Untraced runs averaged for the latency baseline.
+  int solo_runs = 10;
+  /// strace dilation applied to block syscall durations.
+  double strace_block_overhead = 0.15;
+  /// strace dilation applied to CPU periods (ptrace stops on syscalls).
+  double strace_cpu_overhead = 0.05;
+  /// Log-normal run-to-run jitter sigma on every measured duration.
+  double jitter_sigma = 0.02;
+};
+
+/// One function's profiling result.
+struct Profile {
+  std::string name;
+  /// Average solo latency over the untraced runs.
+  TimeMs solo_latency_ms = 0.0;
+  /// Rescaled block periods (relative to function start).
+  std::vector<BlockPeriod> block_periods;
+  /// Behaviour reconstructed from the measurements; the Predictor's input.
+  FunctionBehavior behavior;
+};
+
+/// strace-driven solo-run profiler.
+class Profiler {
+ public:
+  Profiler(ProfilerConfig config, Rng rng);
+
+  /// Profiles one function.
+  Profile profile(const FunctionSpec& spec);
+
+  /// Profiles every function of `wf`; element f is function f's profile.
+  std::vector<Profile> profile_workflow(const Workflow& wf);
+
+  /// Convenience: just the reconstructed behaviours, indexed by function
+  /// id — the shape the Predictor consumes.
+  static std::vector<FunctionBehavior> behaviors(
+      const std::vector<Profile>& profiles);
+
+ private:
+  ProfilerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace chiron

@@ -1,0 +1,205 @@
+#include "core/strace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace chiron {
+namespace {
+
+const std::set<std::string>& blocking_syscalls() {
+  static const std::set<std::string> kBlocking{
+      "select",  "pselect6", "poll",    "ppoll",    "epoll_wait",
+      "epoll_pwait", "read",  "write",  "pread64",  "pwrite64",
+      "recvfrom", "recvmsg", "sendto",  "sendmsg",  "accept",
+      "accept4",  "connect", "futex",   "nanosleep", "clock_nanosleep",
+      "fsync",    "fdatasync", "flock", "wait4",    "waitid",
+      "open",     "openat"};
+  return kBlocking;
+}
+
+// Extracts the file path from the argument list. The <...> fd annotation
+// (strace -y style, e.g. write(4</home/app/x>, "1", 1)) takes precedence
+// because quoted arguments of read/write are data, not paths; open-style
+// calls carry the path as a quoted string instead.
+std::string extract_path(const std::string& args) {
+  const std::size_t lt = args.find('<');
+  if (lt != std::string::npos) {
+    const std::size_t end = args.find('>', lt + 1);
+    if (end != std::string::npos) {
+      return args.substr(lt + 1, end - lt - 1);
+    }
+  }
+  const std::size_t quote = args.find('"');
+  if (quote != std::string::npos) {
+    const std::size_t end = args.find('"', quote + 1);
+    if (end != std::string::npos) {
+      return args.substr(quote + 1, end - quote - 1);
+    }
+  }
+  return {};
+}
+
+// Whether an open/openat argument list requests write access.
+bool opens_for_write(const std::string& args) {
+  return args.find("O_WRONLY") != std::string::npos ||
+         args.find("O_RDWR") != std::string::npos ||
+         args.find("O_CREAT") != std::string::npos ||
+         args.find("O_APPEND") != std::string::npos;
+}
+
+}  // namespace
+
+bool is_blocking_syscall(const std::string& syscall) {
+  return blocking_syscalls().count(syscall) > 0;
+}
+
+StraceLog parse_strace_log(const std::string& log_text) {
+  StraceLog log;
+  std::set<std::string> written;
+  std::istringstream stream(log_text);
+  std::string line;
+  bool any_nonempty = false;
+  double first_timestamp = -1.0;
+
+  while (std::getline(stream, line)) {
+    // Trim leading whitespace.
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos) continue;
+    any_nonempty = true;
+
+    // 1. Timestamp: seconds.microseconds.
+    std::size_t ts_end = pos;
+    while (ts_end < line.size() &&
+           (std::isdigit(static_cast<unsigned char>(line[ts_end])) ||
+            line[ts_end] == '.')) {
+      ++ts_end;
+    }
+    if (ts_end == pos || ts_end >= line.size() || line[ts_end] != ' ') {
+      continue;
+    }
+    double timestamp = 0.0;
+    try {
+      timestamp = std::stod(line.substr(pos, ts_end - pos));
+    } catch (...) {
+      continue;
+    }
+
+    // 2. Syscall name up to '('.
+    std::size_t name_begin = ts_end + 1;
+    std::size_t paren = line.find('(', name_begin);
+    if (paren == std::string::npos) continue;
+    std::string name = line.substr(name_begin, paren - name_begin);
+    if (name.empty() ||
+        !std::all_of(name.begin(), name.end(), [](unsigned char c) {
+          return std::isalnum(c) || c == '_';
+        })) {
+      continue;
+    }
+
+    // 3. Argument list (up to the matching close paren, heuristically the
+    // last ')' before " = ").
+    const std::size_t eq = line.rfind(" = ");
+    if (eq == std::string::npos) continue;
+    const std::string args = line.substr(paren + 1, eq - paren - 1);
+
+    // 4. Duration in the trailing <...>.
+    const std::size_t lt = line.rfind('<');
+    const std::size_t gt = line.rfind('>');
+    if (lt == std::string::npos || gt == std::string::npos || gt < lt) {
+      continue;
+    }
+    double duration_s = 0.0;
+    try {
+      duration_s = std::stod(line.substr(lt + 1, gt - lt - 1));
+    } catch (...) {
+      continue;
+    }
+
+    if (first_timestamp < 0.0) first_timestamp = timestamp;
+    SyscallRecord record;
+    record.start_ms = (timestamp - first_timestamp) * 1000.0;
+    record.name = std::move(name);
+    record.duration_ms = duration_s * 1000.0;
+    record.path = extract_path(args);
+    if ((record.name == "open" || record.name == "openat" ||
+         record.name == "creat") &&
+        !record.path.empty() && opens_for_write(args)) {
+      written.insert(record.path);
+    }
+    log.records.push_back(std::move(record));
+  }
+
+  if (log.records.empty() && any_nonempty) {
+    throw std::invalid_argument("no strace line could be parsed");
+  }
+  log.files_written.assign(written.begin(), written.end());
+  return log;
+}
+
+std::vector<BlockPeriod> block_periods_from_strace(const StraceLog& log,
+                                                   TimeMs total_latency_ms) {
+  std::vector<BlockPeriod> periods;
+  for (const SyscallRecord& r : log.records) {
+    if (!is_blocking_syscall(r.name)) continue;
+    if (r.duration_ms <= 0.0) continue;
+    TimeMs start = std::clamp(r.start_ms, 0.0, total_latency_ms);
+    TimeMs end = std::clamp(r.start_ms + r.duration_ms, start,
+                            total_latency_ms);
+    if (end <= start) continue;
+    periods.push_back({start, end});
+  }
+  std::sort(periods.begin(), periods.end(),
+            [](const BlockPeriod& a, const BlockPeriod& b) {
+              return a.start < b.start;
+            });
+  // Merge overlaps (e.g. nested poll+read accounting).
+  std::vector<BlockPeriod> merged;
+  for (const BlockPeriod& p : periods) {
+    if (!merged.empty() && p.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, p.end);
+    } else {
+      merged.push_back(p);
+    }
+  }
+  return merged;
+}
+
+FunctionBehavior behavior_from_strace(const std::string& log_text,
+                                      TimeMs total_latency_ms) {
+  const StraceLog log = parse_strace_log(log_text);
+  return FunctionBehavior::from_block_periods(
+      total_latency_ms, block_periods_from_strace(log, total_latency_ms));
+}
+
+std::string render_strace_log(const FunctionBehavior& behavior,
+                              double epoch_seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  TimeMs cursor = 0.0;
+  int fd = 3;
+  for (const Segment& s : behavior.segments()) {
+    if (s.kind == Segment::Kind::kBlock) {
+      os.precision(6);
+      os << (epoch_seconds + cursor / 1000.0);
+      os.precision(6);
+      // Alternate between the syscalls Fig. 10 shows.
+      const char* name = fd % 3 == 0 ? "select" : (fd % 3 == 1 ? "read" : "write");
+      if (std::string(name) == "select") {
+        os << " select(4, [3], NULL, NULL, {1, 0}) = 1 <";
+      } else if (std::string(name) == "read") {
+        os << " read(" << fd << "</home/app/test.txt>, \"\", 512) = 0 <";
+      } else {
+        os << " write(" << fd << "</home/app/test.txt>, \"1\", 1) = 1 <";
+      }
+      os << (s.duration / 1000.0) << ">\n";
+      ++fd;
+    }
+    cursor += s.duration;
+  }
+  return os.str();
+}
+
+}  // namespace chiron

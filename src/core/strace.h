@@ -1,0 +1,66 @@
+// strace log parsing (paper §3.2, Fig. 10): the Profiler's raw input on a
+// real deployment is an strace trace of the function's sandbox process.
+// Each relevant line carries the syscall start timestamp, the syscall
+// name, its arguments, and the time spent inside it; block syscalls
+// (select/poll/read/write/recvfrom/sendto/...) become block periods, file
+// paths opened for writing feed the sandbox-sharing conflict check.
+//
+// Format accepted (strace -ttt -T style, timestamps in seconds):
+//
+//   1690000000.048000 select(4, [3], NULL, NULL, {1, 0}) = 1 <1.001000>
+//   1690000001.070123 write(4</home/app/test.txt>, "1", 1) = 1 <0.000042>
+//   1690000001.081000 read(4</home/app/test.txt>, "", 512) = 0 <0.000025>
+//
+// plus `openat(AT_FDCWD, "path", O_WRONLY|...) = 3 <...>` for write-mode
+// detection. Unparseable lines are skipped (strace output is noisy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workflow/behavior.h"
+
+namespace chiron {
+
+/// One parsed syscall record.
+struct SyscallRecord {
+  TimeMs start_ms = 0.0;    ///< relative to the first record
+  std::string name;         ///< e.g. "select"
+  TimeMs duration_ms = 0.0; ///< the <...> field
+  std::string path;         ///< file path if the syscall names one
+};
+
+/// A parsed trace.
+struct StraceLog {
+  std::vector<SyscallRecord> records;
+  /// Files the process opened for writing (O_WRONLY / O_RDWR / creat).
+  std::vector<std::string> files_written;
+};
+
+/// Whether `syscall` blocks (drops the GIL / counts as a block period).
+bool is_blocking_syscall(const std::string& syscall);
+
+/// Parses an strace -ttt -T log. Never throws on malformed lines — they
+/// are skipped; throws std::invalid_argument only if no line parses while
+/// the input is non-empty.
+StraceLog parse_strace_log(const std::string& log_text);
+
+/// Extracts the block periods of a function execution from its trace:
+/// the durations of blocking syscalls, positioned at their timestamps
+/// (Fig. 10's "block period" list). `total_latency_ms` clips periods that
+/// overrun the measured latency.
+std::vector<BlockPeriod> block_periods_from_strace(const StraceLog& log,
+                                                   TimeMs total_latency_ms);
+
+/// End-to-end helper: trace text + measured solo latency -> behaviour,
+/// i.e. the Profiler's reconstruction step over real strace input.
+FunctionBehavior behavior_from_strace(const std::string& log_text,
+                                      TimeMs total_latency_ms);
+
+/// Renders a behaviour as a synthetic strace log (used by tests and by
+/// the simulator to produce Fig. 10-style artifacts for inspection).
+std::string render_strace_log(const FunctionBehavior& behavior,
+                              double epoch_seconds = 1690000000.0);
+
+}  // namespace chiron

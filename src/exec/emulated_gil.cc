@@ -1,0 +1,47 @@
+#include "exec/emulated_gil.h"
+
+#include <thread>
+
+namespace chiron {
+
+EmulatedGil::EmulatedGil(TimeMs switch_interval_ms)
+    : switch_interval_ms_(switch_interval_ms) {}
+
+void EmulatedGil::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiters_;
+  cv_.wait(lock, [this] { return !held_; });
+  --waiters_;
+  held_ = true;
+  held_since_ = std::chrono::steady_clock::now();
+}
+
+void EmulatedGil::release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_ = false;
+  }
+  cv_.notify_one();
+}
+
+bool EmulatedGil::should_yield() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (waiters_ == 0) return false;
+  const auto held_for = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - held_since_);
+  return held_for.count() >= switch_interval_ms_;
+}
+
+void EmulatedGil::yield() {
+  release();
+  // Give a waiter a chance to win the race before re-acquiring.
+  std::this_thread::yield();
+  acquire();
+}
+
+int EmulatedGil::waiters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_;
+}
+
+}  // namespace chiron

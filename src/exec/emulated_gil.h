@@ -1,0 +1,48 @@
+// An emulated Global Interpreter Lock over real OS threads (paper Fig. 2):
+// one holder at a time; the holder polls should_yield() at bytecode-like
+// checkpoints and drops the lock once it has run a full switch interval
+// with other threads waiting; blocking operations release the lock for
+// their duration. Together with the calibrated spin kernels this lets the
+// repository execute FunctionBehavior traces on live threads and compare
+// wall-clock against Algorithm 1's simulation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace chiron {
+
+/// The emulated GIL.
+class EmulatedGil {
+ public:
+  explicit EmulatedGil(TimeMs switch_interval_ms);
+
+  /// Blocks until this thread holds the GIL.
+  void acquire();
+
+  /// Releases the GIL (the holder only).
+  void release();
+
+  /// True when the holder has exceeded the switch interval and at least
+  /// one other thread is waiting — the "GIL drop request" of Fig. 2.
+  bool should_yield();
+
+  /// release() + acquire(): cooperative preemption point.
+  void yield();
+
+  /// Number of waiting threads (approximate, for tests).
+  int waiters();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool held_ = false;
+  int waiters_ = 0;
+  TimeMs switch_interval_ms_;
+  std::chrono::steady_clock::time_point held_since_{};
+};
+
+}  // namespace chiron

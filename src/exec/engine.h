@@ -1,0 +1,34 @@
+// Live-thread execution engine: runs FunctionBehavior traces on real
+// std::thread's, either under the emulated GIL (pseudo-parallel, CPython
+// semantics) or free-running (true parallel, Java/pool semantics). Returns
+// the same InterleaveResult shape as the simulators so tests can
+// cross-validate Algorithm 1 against actual preempted threads.
+//
+// CPU segments busy-spin on a calibrated kernel; block segments sleep with
+// the GIL released — exactly the contract of Fig. 2.
+#pragma once
+
+#include "common/types.h"
+#include "runtime/gil.h"
+
+namespace chiron {
+
+/// Calibrates the spin kernel (first call measures; later calls reuse).
+/// Returns spin iterations per millisecond on this machine.
+double spin_iterations_per_ms();
+
+/// Busy-spins for approximately `ms` milliseconds.
+void spin_for_ms(TimeMs ms);
+
+/// Executes `tasks` as live threads sharing one emulated GIL with the
+/// given switch interval. Wall-clock spans are recorded per task.
+InterleaveResult execute_threads_gil(const std::vector<ThreadTask>& tasks,
+                                     TimeMs switch_interval_ms);
+
+/// Executes `tasks` as free-running live threads (no GIL). On a machine
+/// with enough cores this realises true parallelism; on fewer cores the
+/// OS scheduler time-shares, mirroring CpuShareSimulator with that core
+/// count.
+InterleaveResult execute_threads_parallel(const std::vector<ThreadTask>& tasks);
+
+}  // namespace chiron

@@ -1,0 +1,79 @@
+// Local wrap runtime: actually EXECUTES a Chiron deployment on live OS
+// threads — the in-process counterpart of the generated orchestrator
+// handlers. Each wrap is hosted with one emulated GIL per process group
+// (thread groups share their wrap's resident interpreter, forked groups
+// get their own, so groups run truly parallel like processes); functions
+// default to behaviour-driven kernels (calibrated spin for CPU periods,
+// sleep for block periods) and can be overridden with real C++ callables.
+//
+// This makes the repository usable as a library for running workflows
+// locally, and provides a second, wall-clock validation layer above the
+// simulator: the same WrapPlan drives both.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wrap.h"
+#include "runtime/params.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Opaque request/response payload.
+using Payload = std::string;
+
+/// A user-supplied function body: input payload -> output payload.
+using FunctionImpl = std::function<Payload(const Payload&)>;
+
+/// Local execution configuration.
+struct LocalConfig {
+  RuntimeParams params;
+  /// Scales every emulated duration (behaviour segments, startup costs);
+  /// 0.1 runs ten times faster than real time — useful in tests.
+  double time_scale = 1.0;
+  /// Emulate fork startup / block and wrap RPC costs with sleeps.
+  bool emulate_overheads = true;
+};
+
+/// Per-function outcome of one local invocation.
+struct LocalFunctionResult {
+  FunctionId id = kInvalidFunction;
+  Payload output;
+  TimeMs start_ms = 0.0;   ///< wall-clock, relative to request start
+  TimeMs finish_ms = 0.0;
+};
+
+/// Outcome of one local request.
+struct LocalRunResult {
+  Payload output;                  ///< concatenated final-stage outputs
+  TimeMs e2e_latency_ms = 0.0;     ///< wall clock
+  std::vector<LocalFunctionResult> functions;
+};
+
+/// A locally-executable deployment of one workflow.
+class LocalDeployment {
+ public:
+  /// Hosts `plan` for `wf`. The plan must validate against the workflow.
+  LocalDeployment(Workflow wf, WrapPlan plan, LocalConfig config = {});
+
+  /// Overrides the synthetic kernel for the function named `name` with a
+  /// real implementation. Throws if the name is unknown.
+  void register_function(const std::string& name, FunctionImpl impl);
+
+  /// Runs one request through every stage on live threads.
+  LocalRunResult invoke(const Payload& input);
+
+  const WrapPlan& plan() const { return plan_; }
+
+ private:
+  Workflow wf_;
+  WrapPlan plan_;
+  LocalConfig config_;
+  std::map<std::string, FunctionImpl> impls_;
+};
+
+}  // namespace chiron

@@ -1,0 +1,55 @@
+// Streaming and batch statistics used across benches: Welford accumulation,
+// percentiles, and empirical CDFs (Fig. 15).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chiron {
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of `values` with linear interpolation; `p` in [0, 100].
+/// Sorts a copy; throws on an empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; throws on an empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Empirical CDF over a sample.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x, in [0, 1].
+  double at(double x) const;
+
+  /// Inverse CDF (quantile) for q in [0, 1].
+  double quantile(double q) const;
+
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace chiron

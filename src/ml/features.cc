@@ -1,0 +1,143 @@
+#include "ml/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chiron::ml {
+namespace {
+
+// Synthetic microarchitectural counter: a deterministic function of the
+// behaviour with multiplicative measurement noise.
+double counter(double base, double scale, Rng& rng) {
+  return base * scale * rng.jitter(0.10);
+}
+
+}  // namespace
+
+ConfigFeatures extract_features(const Workflow& wf, const WrapPlan& plan,
+                                const RuntimeParams& params, Rng& rng) {
+  ConfigFeatures out;
+  const double mode_native = plan.mode == IsolationMode::kNative ? 1.0 : 0.0;
+  const double mode_mpk = plan.mode == IsolationMode::kMpk ? 1.0 : 0.0;
+  const double mode_pool = plan.mode == IsolationMode::kPool ? 1.0 : 0.0;
+
+  struct Position {
+    StageId stage;
+    std::size_t wrap;
+    std::size_t group;
+    std::size_t group_size;
+    std::size_t fork_index;
+    bool thread_mode;
+  };
+  std::vector<FunctionId> order;
+  std::vector<Position> positions;
+  for (StageId s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& sp = plan.stages[s];
+    for (std::size_t w = 0; w < sp.wraps.size(); ++w) {
+      std::size_t fork_index = 0;
+      for (std::size_t g = 0; g < sp.wraps[w].processes.size(); ++g) {
+        const ProcessGroup& pg = sp.wraps[w].processes[g];
+        for (FunctionId f : pg.functions) {
+          order.push_back(f);
+          positions.push_back({s, w, g, pg.size(), fork_index,
+                               pg.mode == ExecMode::kThread});
+        }
+        if (pg.mode == ExecMode::kProcess) ++fork_index;
+      }
+    }
+  }
+
+  const std::size_t n = order.size();
+  out.node_features = Matrix(n, kFunctionFeatureDim);
+  out.adjacency = Matrix(n, n);
+  out.per_function.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionSpec& spec = wf.function(order[i]);
+    const Position& pos = positions[i];
+    const FunctionBehavior& b = spec.behavior;
+    const double solo = b.solo_latency();
+    const double cpu = b.total_cpu();
+    const double block = b.total_block();
+    const double cpu_frac = solo > 0.0 ? cpu / solo : 1.0;
+    const double segments = static_cast<double>(b.segments().size());
+    // Synthetic counters (Gsight feature list).
+    const double ctx = counter(segments + cpu / params.gil_switch_interval_ms,
+                               1.0, rng);
+    std::vector<double> v{
+        solo,
+        cpu,
+        block,
+        cpu_frac,
+        segments,
+        static_cast<double>(pos.group_size),
+        static_cast<double>(pos.fork_index),
+        static_cast<double>(pos.wrap),
+        static_cast<double>(pos.stage),
+        pos.thread_mode ? 1.0 : 0.0,
+        mode_native,
+        mode_mpk,
+        mode_pool,
+        ctx,
+        counter(cpu, 2.1, rng),          // L1I MPKI
+        counter(cpu, 3.4, rng),          // L1D MPKI
+        counter(cpu, 0.9, rng),          // L2 MPKI
+        counter(cpu_frac, 0.4, rng),     // L3 MPKI
+        counter(segments, 0.2, rng),     // TLB MPKI
+        counter(cpu_frac, 5.5, rng),     // branch MPKI
+        counter(1.0, 1.4 + cpu_frac, rng),  // IPC
+        spec.memory_mb,
+        static_cast<double>(spec.output_bytes) / 1024.0,
+        static_cast<double>(plan.cpu_cap),
+    };
+    for (std::size_t k = 0; k < kFunctionFeatureDim; ++k) {
+      out.node_features.at(i, k) = v[k];
+    }
+    out.per_function.push_back(std::move(v));
+  }
+
+  // Adjacency: thread siblings and wrap co-residents are connected; the
+  // first function of every group links to the first function of each
+  // group in the next stage (the invocation chain).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Position& a = positions[i];
+      const Position& b2 = positions[j];
+      bool connected = false;
+      if (a.stage == b2.stage && a.wrap == b2.wrap) connected = true;
+      if (a.stage + 1 == b2.stage && a.group == 0 && b2.group == 0) {
+        connected = true;
+      }
+      if (connected) {
+        out.adjacency.at(i, j) = 1.0;
+        out.adjacency.at(j, i) = 1.0;
+      }
+    }
+  }
+
+  // Aggregate vector for RFR: config descriptors + feature statistics.
+  std::vector<double> agg{
+      static_cast<double>(n),
+      static_cast<double>(plan.peak_processes()),
+      static_cast<double>(plan.sandbox_count()),
+      static_cast<double>(plan.cpu_cap),
+      static_cast<double>(plan.stages.size()),
+      mode_native,
+      mode_mpk,
+      mode_pool,
+  };
+  for (std::size_t k = 0; k < kFunctionFeatureDim; ++k) {
+    double sum = 0.0, mx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += out.node_features.at(i, k);
+      mx = std::max(mx, out.node_features.at(i, k));
+    }
+    agg.push_back(sum);
+    agg.push_back(n > 0 ? sum / static_cast<double>(n) : 0.0);
+    agg.push_back(mx);
+  }
+  out.aggregate = std::move(agg);
+  return out;
+}
+
+}  // namespace chiron::ml

@@ -1,0 +1,39 @@
+// Feature extraction for the learned predictor baselines (Fig. 12).
+//
+// The paper feeds RFR/LSTM the per-function features recommended by
+// Gsight: solo latency plus microarchitectural counters (context switches,
+// L1I/L1D/L2/L3 MPKI, TLB MPKI, branch MPKI, MLP, IPC, utilisations...).
+// We have no hardware counters in a simulation, so the counters are
+// synthesised as noisy deterministic functions of the behaviour trace —
+// plausible magnitudes, weak signal — which reproduces the reason learned
+// models trail the white-box Predictor: the informative part of the input
+// is a handful of dimensions, and training diversity is limited.
+#pragma once
+
+#include "common/rng.h"
+#include "core/wrap.h"
+#include "ml/gcn.h"
+#include "ml/lstm.h"
+#include "ml/random_forest.h"
+#include "runtime/params.h"
+#include "workflow/workflow.h"
+
+namespace chiron::ml {
+
+/// Dimensionality of one function's feature vector.
+inline constexpr std::size_t kFunctionFeatureDim = 24;
+
+/// All three model inputs derived from one (workflow, plan) configuration.
+struct ConfigFeatures {
+  std::vector<double> aggregate;                  ///< RFR input
+  std::vector<std::vector<double>> per_function;  ///< LSTM sequence
+  Matrix node_features;                           ///< GCN nodes (N x F)
+  Matrix adjacency;                               ///< GCN edges (N x N)
+};
+
+/// Extracts features for `plan` deployed over `wf`. `rng` drives the
+/// synthetic-counter noise; pass the same seed for reproducible datasets.
+ConfigFeatures extract_features(const Workflow& wf, const WrapPlan& plan,
+                                const RuntimeParams& params, Rng& rng);
+
+}  // namespace chiron::ml

@@ -1,0 +1,128 @@
+#include "ml/gcn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chiron::ml {
+
+GcnRegressor::GcnRegressor(Options options) : options_(options) {
+  if (options_.input_dim == 0) {
+    throw std::invalid_argument("input_dim must be set");
+  }
+  Rng rng(options_.seed);
+  w1_ = Matrix::xavier(options_.input_dim, options_.hidden_dim, rng);
+  w2_ = Matrix::xavier(options_.hidden_dim, options_.hidden_dim, rng);
+  wy_ = Matrix::xavier(options_.hidden_dim, 1, rng);
+}
+
+Matrix GcnRegressor::normalize_adjacency(const Matrix& adjacency) {
+  if (adjacency.rows() != adjacency.cols()) {
+    throw std::invalid_argument("adjacency must be square");
+  }
+  const std::size_t n = adjacency.rows();
+  Matrix a = adjacency;
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) += 1.0;  // self-loops
+  std::vector<double> inv_sqrt_deg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < n; ++j) deg += a.at(i, j);
+    inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return a;
+}
+
+double GcnRegressor::forward(const Matrix& a_hat, const Matrix& x,
+                             Matrix* h1_out, Matrix* h2_out) const {
+  Matrix h1 = (a_hat * (x * w1_)).map(relu);
+  Matrix h2 = a_hat * (h1 * w2_);
+  if (h1_out) *h1_out = h1;
+  if (h2_out) *h2_out = h2;
+  return (h2.col_mean() * wy_).at(0, 0) + by_;
+}
+
+void GcnRegressor::fit(const std::vector<GraphSample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("empty training set");
+
+  double sum = 0.0, sq = 0.0;
+  for (const GraphSample& s : samples) {
+    sum += s.target;
+    sq += s.target * s.target;
+  }
+  target_mean_ = sum / static_cast<double>(samples.size());
+  const double var =
+      sq / static_cast<double>(samples.size()) - target_mean_ * target_mean_;
+  target_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  Adam opt_w1(w1_.rows(), w1_.cols(), options_.learning_rate);
+  Adam opt_w2(w2_.rows(), w2_.cols(), options_.learning_rate);
+  Adam opt_wy(wy_.rows(), wy_.cols(), options_.learning_rate);
+  Adam opt_by(1, 1, options_.learning_rate);
+
+  // Pre-normalise adjacencies once.
+  std::vector<Matrix> a_hats;
+  a_hats.reserve(samples.size());
+  for (const GraphSample& s : samples) {
+    if (s.features.cols() != options_.input_dim) {
+      throw std::invalid_argument("feature dimension mismatch");
+    }
+    a_hats.push_back(normalize_adjacency(s.adjacency));
+  }
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t si = 0; si < samples.size(); ++si) {
+      const GraphSample& s = samples[si];
+      const Matrix& a_hat = a_hats[si];
+      const std::size_t n = s.features.rows();
+      if (n == 0) continue;
+
+      Matrix h1, h2;
+      const double y_hat = forward(a_hat, s.features, &h1, &h2);
+      const double y = (s.target - target_mean_) / target_std_;
+      const double dloss = 2.0 * (y_hat - y);
+
+      // y = mean(h2) wy + by
+      const Matrix pooled = h2.col_mean();  // 1 x H
+      Matrix g_wy = pooled.transposed().scaled(dloss);
+      const double g_by = dloss;
+
+      // d/d h2 = (1/n) * wy^T broadcast over nodes.
+      Matrix dh2(n, options_.hidden_dim);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < options_.hidden_dim; ++k) {
+          dh2.at(i, k) = dloss * wy_.at(k, 0) / static_cast<double>(n);
+        }
+      }
+      // h2 = Â h1 w2; Â is symmetric.
+      Matrix d_pre2 = a_hat * dh2;            // gradient wrt (h1 w2)
+      Matrix g_w2 = h1.transposed() * d_pre2;
+      Matrix dh1 = d_pre2 * w2_.transposed();
+      // h1 = relu(Â x w1): mask the gradient at the ReLU, then push it
+      // back through Â (symmetric) to reach (x w1).
+      Matrix relu_mask = h1.map([](double v) { return v > 0.0 ? 1.0 : 0.0; });
+      Matrix d_pre1 = a_hat * dh1.hadamard(relu_mask);
+      Matrix g_w1 = s.features.transposed() * d_pre1;
+
+      opt_w1.step(w1_, g_w1);
+      opt_w2.step(w2_, g_w2);
+      opt_wy.step(wy_, g_wy);
+      Matrix by_mat(1, 1, by_);
+      Matrix g_by_mat(1, 1, g_by);
+      opt_by.step(by_mat, g_by_mat);
+      by_ = by_mat.at(0, 0);
+    }
+  }
+}
+
+double GcnRegressor::predict(const GraphSample& sample) const {
+  if (sample.features.rows() == 0) return target_mean_;
+  const Matrix a_hat = normalize_adjacency(sample.adjacency);
+  return forward(a_hat, sample.features, nullptr, nullptr) * target_std_ +
+         target_mean_;
+}
+
+}  // namespace chiron::ml

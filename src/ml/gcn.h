@@ -1,0 +1,60 @@
+// Two-layer graph convolutional network regressor — the "GNN" baseline of
+// Fig. 12. Input: a node-feature matrix (one node per function) and an
+// adjacency matrix encoding thread/process/stage/workflow relations within
+// the wrap configuration; output: the workflow's end-to-end latency.
+//
+//   H1 = relu(Â X W1),  H2 = Â H1 W2,  y = mean_pool(H2) Wy + by
+//
+// where Â is the symmetrically normalised adjacency with self-loops
+// (Kipf & Welling). Trained with Adam, full-graph batches of size 1.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace chiron::ml {
+
+/// One graph sample.
+struct GraphSample {
+  Matrix features;   ///< N x F node features
+  Matrix adjacency;  ///< N x N, undirected 0/1 (self-loops added internally)
+  double target = 0.0;
+};
+
+/// GCN regressor.
+class GcnRegressor {
+ public:
+  struct Options {
+    std::size_t input_dim = 0;  ///< required
+    std::size_t hidden_dim = 16;
+    double learning_rate = 0.01;
+    int epochs = 80;
+    std::uint64_t seed = 0x6C9;
+  };
+
+  explicit GcnRegressor(Options options);
+
+  void fit(const std::vector<GraphSample>& samples);
+
+  double predict(const GraphSample& sample) const;
+
+  /// Symmetrically normalised adjacency with self-loops (exposed for
+  /// tests: rows of Â must sum to ~1 for regular graphs).
+  static Matrix normalize_adjacency(const Matrix& adjacency);
+
+ private:
+  double forward(const Matrix& a_hat, const Matrix& x, Matrix* h1_out,
+                 Matrix* h2_out) const;
+
+  Options options_;
+  Matrix w1_;  // F x H
+  Matrix w2_;  // H x H
+  Matrix wy_;  // H x 1
+  double by_ = 0.0;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+};
+
+}  // namespace chiron::ml

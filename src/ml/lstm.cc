@@ -1,0 +1,153 @@
+#include "ml/lstm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chiron::ml {
+
+struct LstmRegressor::Cache {
+  Matrix z;               // 1 x (H+I): [h_{t-1}, x_t]
+  Matrix i, f, o, g;      // gate activations, 1 x H
+  Matrix c, h;            // post-step cell / hidden, 1 x H
+  Matrix c_prev;          // 1 x H
+};
+
+LstmRegressor::LstmRegressor(Options options) : options_(options) {
+  if (options_.input_dim == 0) {
+    throw std::invalid_argument("input_dim must be set");
+  }
+  Rng rng(options_.seed);
+  const std::size_t zh = options_.hidden_dim + options_.input_dim;
+  const std::size_t h = options_.hidden_dim;
+  wi_ = Matrix::xavier(zh, h, rng);
+  wf_ = Matrix::xavier(zh, h, rng);
+  wo_ = Matrix::xavier(zh, h, rng);
+  wg_ = Matrix::xavier(zh, h, rng);
+  bi_ = Matrix::zeros(1, h);
+  bf_ = Matrix(1, h, 1.0);  // forget-gate bias 1: standard initialisation
+  bo_ = Matrix::zeros(1, h);
+  bg_ = Matrix::zeros(1, h);
+  wy_ = Matrix::xavier(h, 1, rng);
+}
+
+double LstmRegressor::forward(const SequenceSample& sample,
+                              std::vector<Cache>* cache) const {
+  const std::size_t h = options_.hidden_dim;
+  Matrix hidden = Matrix::zeros(1, h);
+  Matrix cell = Matrix::zeros(1, h);
+  for (const std::vector<double>& x : sample.steps) {
+    if (x.size() != options_.input_dim) {
+      throw std::invalid_argument("feature dimension mismatch");
+    }
+    Matrix z(1, h + options_.input_dim);
+    for (std::size_t k = 0; k < h; ++k) z.at(0, k) = hidden.at(0, k);
+    for (std::size_t k = 0; k < options_.input_dim; ++k) {
+      z.at(0, h + k) = x[k];
+    }
+    Matrix gi = (z * wi_).add_row_broadcast(bi_).map(sigmoid);
+    Matrix gf = (z * wf_).add_row_broadcast(bf_).map(sigmoid);
+    Matrix go = (z * wo_).add_row_broadcast(bo_).map(sigmoid);
+    Matrix gg = (z * wg_).add_row_broadcast(bg_).map(tanh_act);
+    Matrix c_prev = cell;
+    cell = gf.hadamard(cell) + gi.hadamard(gg);
+    hidden = go.hadamard(cell.map(tanh_act));
+    if (cache) {
+      cache->push_back(Cache{z, gi, gf, go, gg, cell, hidden, c_prev});
+    }
+  }
+  return (hidden * wy_).at(0, 0) + by_;
+}
+
+void LstmRegressor::fit(const std::vector<SequenceSample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("empty training set");
+
+  // Standardise targets for stable optimisation.
+  double sum = 0.0, sq = 0.0;
+  for (const SequenceSample& s : samples) {
+    sum += s.target;
+    sq += s.target * s.target;
+  }
+  target_mean_ = sum / static_cast<double>(samples.size());
+  const double var =
+      sq / static_cast<double>(samples.size()) - target_mean_ * target_mean_;
+  target_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  const std::size_t h = options_.hidden_dim;
+  const std::size_t zh = h + options_.input_dim;
+  Adam opt_wi(zh, h, options_.learning_rate), opt_wf(zh, h, options_.learning_rate),
+      opt_wo(zh, h, options_.learning_rate), opt_wg(zh, h, options_.learning_rate);
+  Adam opt_bi(1, h, options_.learning_rate), opt_bf(1, h, options_.learning_rate),
+      opt_bo(1, h, options_.learning_rate), opt_bg(1, h, options_.learning_rate);
+  Adam opt_wy(h, 1, options_.learning_rate), opt_by(1, 1, options_.learning_rate);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const SequenceSample& sample : samples) {
+      if (sample.steps.empty()) continue;
+      std::vector<Cache> cache;
+      const double y_hat = forward(sample, &cache);
+      const double y = (sample.target - target_mean_) / target_std_;
+      const double dloss = 2.0 * (y_hat - y);  // d(MSE)/dy_hat
+
+      Matrix g_wi = Matrix::zeros(zh, h), g_wf = Matrix::zeros(zh, h);
+      Matrix g_wo = Matrix::zeros(zh, h), g_wg = Matrix::zeros(zh, h);
+      Matrix g_bi = Matrix::zeros(1, h), g_bf = Matrix::zeros(1, h);
+      Matrix g_bo = Matrix::zeros(1, h), g_bg = Matrix::zeros(1, h);
+      Matrix g_wy = cache.back().h.transposed().scaled(dloss);
+      const double g_by = dloss;
+
+      Matrix dh = wy_.transposed().scaled(dloss);  // 1 x H
+      Matrix dc = Matrix::zeros(1, h);
+      for (std::size_t t = cache.size(); t-- > 0;) {
+        const Cache& cc = cache[t];
+        const Matrix tanh_c = cc.c.map(tanh_act);
+        // dh flows through h = o * tanh(c).
+        Matrix do_ = dh.hadamard(tanh_c).hadamard(cc.o.map(dsigmoid_from_y));
+        dc = dc + dh.hadamard(cc.o).hadamard(tanh_c.map(dtanh_from_y));
+        Matrix di = dc.hadamard(cc.g).hadamard(cc.i.map(dsigmoid_from_y));
+        Matrix dg = dc.hadamard(cc.i).hadamard(cc.g.map(dtanh_from_y));
+        Matrix df =
+            dc.hadamard(cc.c_prev).hadamard(cc.f.map(dsigmoid_from_y));
+
+        g_wi = g_wi + cc.z.transposed() * di;
+        g_wf = g_wf + cc.z.transposed() * df;
+        g_wo = g_wo + cc.z.transposed() * do_;
+        g_wg = g_wg + cc.z.transposed() * dg;
+        g_bi = g_bi + di;
+        g_bf = g_bf + df;
+        g_bo = g_bo + do_;
+        g_bg = g_bg + dg;
+
+        // Backprop into z = [h_{t-1}, x]: take the h part.
+        Matrix dz = di * wi_.transposed();
+        dz = dz + df * wf_.transposed();
+        dz = dz + do_ * wo_.transposed();
+        dz = dz + dg * wg_.transposed();
+        Matrix dh_prev(1, h);
+        for (std::size_t k = 0; k < h; ++k) dh_prev.at(0, k) = dz.at(0, k);
+        dh = dh_prev;
+        dc = dc.hadamard(cc.f);
+      }
+
+      opt_wi.step(wi_, g_wi);
+      opt_wf.step(wf_, g_wf);
+      opt_wo.step(wo_, g_wo);
+      opt_wg.step(wg_, g_wg);
+      opt_bi.step(bi_, g_bi);
+      opt_bf.step(bf_, g_bf);
+      opt_bo.step(bo_, g_bo);
+      opt_bg.step(bg_, g_bg);
+      opt_wy.step(wy_, g_wy);
+      Matrix by_mat(1, 1, by_);
+      Matrix g_by_mat(1, 1, g_by);
+      opt_by.step(by_mat, g_by_mat);
+      by_ = by_mat.at(0, 0);
+    }
+  }
+}
+
+double LstmRegressor::predict(const SequenceSample& sample) const {
+  if (sample.steps.empty()) return target_mean_;
+  return forward(sample, nullptr) * target_std_ + target_mean_;
+}
+
+}  // namespace chiron::ml

@@ -1,0 +1,55 @@
+// Single-layer LSTM regressor — the "LSTM" baseline of Fig. 12. Consumes a
+// sequence of per-function feature vectors describing one wrap
+// configuration and regresses the end-to-end latency. Trained with full
+// BPTT and Adam, batch size 1, matching the paper's setup (lr 0.01).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace chiron::ml {
+
+/// A sequence sample: T feature vectors and one scalar target.
+struct SequenceSample {
+  std::vector<std::vector<double>> steps;
+  double target = 0.0;
+};
+
+/// LSTM + dense-head regressor.
+class LstmRegressor {
+ public:
+  struct Options {
+    std::size_t input_dim = 0;   ///< required
+    std::size_t hidden_dim = 16;
+    double learning_rate = 0.01;
+    int epochs = 60;
+    std::uint64_t seed = 0x157;
+  };
+
+  explicit LstmRegressor(Options options);
+
+  /// Trains on `samples` (targets are standardised internally).
+  void fit(const std::vector<SequenceSample>& samples);
+
+  double predict(const SequenceSample& sample) const;
+
+ private:
+  struct Cache;  // per-step activations for BPTT
+
+  /// Forward pass; fills `cache` when non-null. Returns the raw
+  /// (standardised-space) output.
+  double forward(const SequenceSample& sample, std::vector<Cache>* cache) const;
+
+  Options options_;
+  // Gate weights operate on [h, x] concatenations (1 x (H+I)) * ((H+I) x H).
+  Matrix wi_, wf_, wo_, wg_;
+  Matrix bi_, bf_, bo_, bg_;  // 1 x H
+  Matrix wy_;                 // H x 1
+  double by_ = 0.0;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+};
+
+}  // namespace chiron::ml

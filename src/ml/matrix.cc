@@ -1,0 +1,135 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chiron::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    m.data_[i] = rng.uniform(-limit, limit);
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matmul shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) += a * rhs.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("add shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("sub shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("hadamard shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+Matrix Matrix::add_row_broadcast(const Matrix& row) const {
+  if (row.rows_ != 1 || row.cols_ != cols_) {
+    throw std::invalid_argument("broadcast shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) += row.at(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::col_mean() const {
+  Matrix out(1, cols_);
+  if (rows_ == 0) return out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(0, c) += at(r, c);
+  }
+  for (std::size_t c = 0; c < cols_; ++c) {
+    out.at(0, c) /= static_cast<double>(rows_);
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double dsigmoid_from_y(double y) { return y * (1.0 - y); }
+double tanh_act(double x) { return std::tanh(x); }
+double dtanh_from_y(double y) { return 1.0 - y * y; }
+double relu(double x) { return x > 0.0 ? x : 0.0; }
+
+Adam::Adam(std::size_t rows, std::size_t cols, double lr)
+    : m_(rows, cols), v_(rows, cols), lr_(lr) {}
+
+void Adam::step(Matrix& param, const Matrix& grad) {
+  constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t_));
+  for (std::size_t r = 0; r < param.rows(); ++r) {
+    for (std::size_t c = 0; c < param.cols(); ++c) {
+      const double g = grad.at(r, c);
+      m_.at(r, c) = beta1 * m_.at(r, c) + (1.0 - beta1) * g;
+      v_.at(r, c) = beta2 * v_.at(r, c) + (1.0 - beta2) * g * g;
+      const double mhat = m_.at(r, c) / bc1;
+      const double vhat = v_.at(r, c) / bc2;
+      param.at(r, c) -= lr_ * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+}  // namespace chiron::ml

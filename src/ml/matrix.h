@@ -1,0 +1,86 @@
+// Minimal dense linear algebra for the learned predictor baselines
+// (Fig. 12): row-major matrices with the handful of operations LSTM/GCN
+// training needs. Deliberately simple — correctness and determinism over
+// speed; the models are tiny.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chiron::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Xavier/Glorot uniform initialisation.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix transposed() const;
+
+  Matrix operator*(const Matrix& rhs) const;  ///< matrix product
+  Matrix operator+(const Matrix& rhs) const;  ///< elementwise
+  Matrix operator-(const Matrix& rhs) const;  ///< elementwise
+  Matrix hadamard(const Matrix& rhs) const;   ///< elementwise product
+  Matrix scaled(double s) const;
+
+  /// Adds `row` (1 x cols) to every row — bias broadcast.
+  Matrix add_row_broadcast(const Matrix& row) const;
+
+  /// Applies `f` elementwise.
+  template <typename F>
+  Matrix map(F f) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+  }
+
+  /// Column-wise mean as a 1 x cols matrix.
+  Matrix col_mean() const;
+
+  /// Sum of all entries.
+  double sum() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Numerically standard activations.
+double sigmoid(double x);
+double dsigmoid_from_y(double y);  ///< derivative given sigmoid output
+double tanh_act(double x);
+double dtanh_from_y(double y);     ///< derivative given tanh output
+double relu(double x);
+
+/// Adam optimiser state for one parameter matrix.
+class Adam {
+ public:
+  Adam(std::size_t rows, std::size_t cols, double lr = 0.01);
+
+  /// In-place parameter update from gradient `grad`.
+  void step(Matrix& param, const Matrix& grad);
+
+ private:
+  Matrix m_;
+  Matrix v_;
+  double lr_;
+  long t_ = 0;
+};
+
+}  // namespace chiron::ml

@@ -1,0 +1,163 @@
+#include "ml/predictor_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/predictor.h"
+#include "core/profiler.h"
+#include "ml/gcn.h"
+#include "ml/lstm.h"
+#include "ml/random_forest.h"
+#include "platform/plan_backend.h"
+
+namespace chiron::ml {
+namespace {
+
+// Round-robin partition of each stage into n process groups, packed into
+// `wraps` balanced wraps.
+WrapPlan make_plan(const Workflow& wf, std::size_t n, std::size_t wraps,
+                   IsolationMode mode) {
+  WrapPlan plan;
+  plan.mode = mode;
+  for (const Stage& stage : wf.stages()) {
+    std::size_t k = std::min<std::size_t>(n, stage.functions.size());
+    if (mode == IsolationMode::kMpk) {
+      // Respect the pkey-exhaustion limit (kMpkMaxThreadsPerProcess).
+      const std::size_t floor_k =
+          (stage.functions.size() + kMpkMaxThreadsPerProcess - 1) /
+          kMpkMaxThreadsPerProcess;
+      k = std::max(k, floor_k);
+    }
+    std::vector<ProcessGroup> groups(k);
+    for (std::size_t i = 0; i < stage.functions.size(); ++i) {
+      groups[i % k].functions.push_back(stage.functions[i]);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      groups[i].mode = i == 0 ? ExecMode::kThread : ExecMode::kProcess;
+    }
+    StagePlan sp;
+    const std::size_t w = std::max<std::size_t>(1, std::min(wraps, k));
+    sp.wraps.resize(w);
+    const std::size_t base = k / w, extra = k % w;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t take = base + (i < extra ? 1 : 0);
+      for (std::size_t j = 0; j < take; ++j) {
+        ProcessGroup g = groups[next++];
+        if (g.mode == ExecMode::kThread && !(i == 0 && j == 0)) {
+          g.mode = ExecMode::kProcess;
+        }
+        sp.wraps[i].processes.push_back(std::move(g));
+      }
+    }
+    plan.stages.push_back(std::move(sp));
+  }
+  return plan;
+}
+
+double mean_abs_err_pct(double predicted, double actual) {
+  if (actual <= 0.0) return 0.0;
+  return std::abs(predicted - actual) / actual * 100.0;
+}
+
+}  // namespace
+
+std::vector<WrapPlan> enumerate_plans(const Workflow& wf, IsolationMode mode,
+                                      std::size_t limit) {
+  std::vector<WrapPlan> plans;
+  const std::size_t max_n = std::max<std::size_t>(1, wf.max_parallelism());
+  if (mode == IsolationMode::kPool) {
+    // Pool configurations vary the CPU allocation of the single wrap.
+    for (std::size_t cap = 1; cap <= max_n && plans.size() < limit; ++cap) {
+      WrapPlan plan = pool_plan(wf);
+      plan.cpu_cap = cap;
+      plans.push_back(std::move(plan));
+    }
+    return plans;
+  }
+  for (std::size_t n = 1; n <= max_n && plans.size() < limit; ++n) {
+    std::vector<std::size_t> wrap_options{1};
+    if (n >= 2) wrap_options.push_back((n + 1) / 2);
+    if (n >= 3) wrap_options.push_back(n);
+    std::size_t prev = 0;
+    for (std::size_t w : wrap_options) {
+      if (w == prev || plans.size() >= limit) continue;
+      prev = w;
+      plans.push_back(make_plan(wf, n, w, mode));
+    }
+  }
+  return plans;
+}
+
+std::vector<ConfigSample> build_dataset(const Workflow& wf,
+                                        const EvalOptions& options) {
+  std::vector<ConfigSample> dataset;
+  Rng rng(options.seed ^ std::hash<std::string>{}(wf.name()));
+  for (WrapPlan& plan :
+       enumerate_plans(wf, options.mode, options.max_configs)) {
+    WrapPlanBackend backend("eval", options.params, wf, plan, options.noise);
+    Rng run_rng = rng.split();
+    ConfigSample sample;
+    sample.actual_ms = backend.mean_latency(run_rng, options.actual_runs);
+    Rng feat_rng = rng.split();
+    sample.features =
+        extract_features(wf, plan, options.params, feat_rng);
+    sample.plan = std::move(plan);
+    dataset.push_back(std::move(sample));
+  }
+  return dataset;
+}
+
+PredictionErrors evaluate_predictors(const std::vector<Workflow>& train,
+                                     const Workflow& target,
+                                     const EvalOptions& options) {
+  PredictionErrors errors;
+
+  // --- training data from the other workflows -------------------------
+  std::vector<Sample> rfr_train;
+  std::vector<SequenceSample> lstm_train;
+  std::vector<GraphSample> gnn_train;
+  for (const Workflow& wf : train) {
+    for (ConfigSample& cs : build_dataset(wf, options)) {
+      rfr_train.push_back({cs.features.aggregate, cs.actual_ms});
+      lstm_train.push_back({cs.features.per_function, cs.actual_ms});
+      gnn_train.push_back(
+          {cs.features.node_features, cs.features.adjacency, cs.actual_ms});
+    }
+  }
+
+  RandomForest rfr;
+  rfr.fit(rfr_train);
+  LstmRegressor::Options lstm_opts;
+  lstm_opts.input_dim = kFunctionFeatureDim;
+  LstmRegressor lstm(lstm_opts);
+  lstm.fit(lstm_train);
+  GcnRegressor::Options gcn_opts;
+  gcn_opts.input_dim = kFunctionFeatureDim;
+  GcnRegressor gnn(gcn_opts);
+  gnn.fit(gnn_train);
+
+  // --- Chiron's white-box predictor over profiled behaviours ----------
+  Profiler profiler(ProfilerConfig{}, Rng(options.seed ^ 0x9u));
+  std::vector<Profile> profiles = profiler.profile_workflow(target);
+  const Runtime runtime = target.function_count() > 0
+                              ? target.function(0).runtime
+                              : Runtime::kPython3;
+  Predictor predictor(PredictorConfig{options.params, runtime, 1.0},
+                      Profiler::behaviors(profiles));
+
+  for (const ConfigSample& cs : build_dataset(target, options)) {
+    errors.chiron.push_back(mean_abs_err_pct(
+        predictor.workflow_latency(cs.plan), cs.actual_ms));
+    errors.rfr.push_back(mean_abs_err_pct(
+        rfr.predict(cs.features.aggregate), cs.actual_ms));
+    errors.lstm.push_back(mean_abs_err_pct(
+        lstm.predict({cs.features.per_function, 0.0}), cs.actual_ms));
+    errors.gnn.push_back(mean_abs_err_pct(
+        gnn.predict({cs.features.node_features, cs.features.adjacency, 0.0}),
+        cs.actual_ms));
+  }
+  return errors;
+}
+
+}  // namespace chiron::ml

@@ -1,0 +1,65 @@
+// The Fig. 12 prediction-error experiment: enumerate wrap configurations
+// of a workflow, measure "actual" latency with the ground-truth platform
+// simulator, and compare four predictors:
+//
+//   Chiron-Predictor — white-box (Eq. 1-4 + Algorithm 1) over profiled
+//                      behaviours,
+//   RFR / LSTM / GNN — learned models trained on configurations of the
+//                      *other* workflows (limited training diversity, as
+//                      the paper discusses).
+//
+// Error metric: |predicted - actual| / actual, reported in percent.
+#pragma once
+
+#include <vector>
+
+#include "core/wrap.h"
+#include "ml/features.h"
+#include "platform/backend.h"
+#include "workflow/workflow.h"
+
+namespace chiron::ml {
+
+/// Experiment options.
+struct EvalOptions {
+  RuntimeParams params;
+  NoiseConfig noise;
+  IsolationMode mode = IsolationMode::kNative;
+  /// Ground-truth runs averaged per configuration.
+  int actual_runs = 5;
+  /// Cap on enumerated configurations per workflow.
+  std::size_t max_configs = 48;
+  std::uint64_t seed = 0xF16;
+};
+
+/// One dataset row.
+struct ConfigSample {
+  WrapPlan plan;
+  double actual_ms = 0.0;
+  ConfigFeatures features;
+};
+
+/// Enumerates wrap configurations of `wf` under `mode`: process counts
+/// 1..max_parallelism crossed with wrap packings (and CPU caps for pool).
+std::vector<WrapPlan> enumerate_plans(const Workflow& wf, IsolationMode mode,
+                                      std::size_t limit);
+
+/// Builds (configuration, actual latency, features) rows for `wf`.
+std::vector<ConfigSample> build_dataset(const Workflow& wf,
+                                        const EvalOptions& options);
+
+/// Per-configuration absolute relative errors (%), one vector per model.
+struct PredictionErrors {
+  std::vector<double> chiron;
+  std::vector<double> rfr;
+  std::vector<double> lstm;
+  std::vector<double> gnn;
+};
+
+/// Trains the learned models on `train` workflows' datasets and evaluates
+/// all four predictors on `target`'s dataset.
+PredictionErrors evaluate_predictors(const std::vector<Workflow>& train,
+                                     const Workflow& target,
+                                     const EvalOptions& options);
+
+}  // namespace chiron::ml

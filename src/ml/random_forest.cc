@@ -1,0 +1,162 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace chiron::ml {
+namespace {
+
+double mean_target(const std::vector<Sample>& samples,
+                   const std::vector<std::size_t>& idx, std::size_t begin,
+                   std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += samples[idx[i]].target;
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<Sample>& samples,
+                       const std::vector<std::size_t>& indices,
+                       const Options& options, Rng& rng) {
+  if (indices.empty()) throw std::invalid_argument("empty training set");
+  nodes_.clear();
+  std::vector<std::size_t> idx = indices;
+  build(samples, idx, 0, idx.size(), 0, options, rng);
+}
+
+int DecisionTree::build(const std::vector<Sample>& samples,
+                        std::vector<std::size_t>& idx, std::size_t begin,
+                        std::size_t end, std::size_t depth,
+                        const Options& options, Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = mean_target(samples, idx, begin, end);
+
+  const std::size_t n = end - begin;
+  if (n < options.min_samples_split || depth >= options.max_depth) {
+    return node_id;
+  }
+
+  const std::size_t n_features = samples[idx[begin]].features.size();
+  std::vector<std::size_t> features(n_features);
+  std::iota(features.begin(), features.end(), 0u);
+  std::size_t consider = options.max_features == 0
+                             ? n_features
+                             : std::min(options.max_features, n_features);
+  if (consider < n_features) {
+    // Fisher-Yates prefix shuffle for the feature subsample.
+    for (std::size_t i = 0; i < consider; ++i) {
+      const std::size_t j = i + rng.below(n_features - i);
+      std::swap(features[i], features[j]);
+    }
+    features.resize(consider);
+  }
+
+  // Best split by weighted variance (sum of squared deviations) using the
+  // prefix-sum trick on sorted feature values. A split must strictly
+  // reduce the parent's squared deviation, so constant targets stay leaves.
+  double parent_sum = 0.0, parent_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double y = samples[idx[i]].target;
+    parent_sum += y;
+    parent_sq += y * y;
+  }
+  const double parent_dev =
+      parent_sq - parent_sum * parent_sum / static_cast<double>(n);
+  double best_score = parent_dev - 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::size_t> order(idx.begin() + static_cast<long>(begin),
+                                 idx.begin() + static_cast<long>(end));
+  for (std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return samples[a].features[f] < samples[b].features[f];
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    double right_sum = 0.0, right_sq = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const double y = samples[order[i]].target;
+      right_sum += y;
+      right_sq += y * y;
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const double y = samples[order[i]].target;
+      left_sum += y;
+      left_sq += y * y;
+      right_sum -= y;
+      right_sq -= y * y;
+      const double lv = samples[order[i]].features[f];
+      const double rv = samples[order[i + 1]].features[f];
+      if (rv <= lv) continue;  // cannot split between equal values
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(order.size() - i - 1);
+      const double score =
+          (left_sq - left_sum * left_sum / nl) +
+          (right_sq - right_sum * right_sum / nr);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (lv + rv);
+        found = true;
+      }
+    }
+  }
+  if (!found) return node_id;  // no split improves on the parent
+
+  // Partition in place.
+  auto mid_it = std::partition(
+      idx.begin() + static_cast<long>(begin), idx.begin() + static_cast<long>(end),
+      [&](std::size_t s) {
+        return samples[s].features[best_feature] <= best_threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = build(samples, idx, begin, mid, depth + 1, options, rng);
+  const int right = build(samples, idx, mid, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) throw std::logic_error("tree is not fitted");
+  int node = 0;
+  while (nodes_[node].left >= 0) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+RandomForest::RandomForest(Options options) : options_(options) {}
+
+void RandomForest::fit(const std::vector<Sample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("empty training set");
+  trees_.assign(options_.n_trees, DecisionTree{});
+  Rng rng(options_.seed);
+  for (DecisionTree& tree : trees_) {
+    std::vector<std::size_t> bootstrap(samples.size());
+    for (std::size_t& i : bootstrap) i = rng.below(samples.size());
+    tree.fit(samples, bootstrap, options_.tree, rng);
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+  if (trees_.empty()) throw std::logic_error("forest is not fitted");
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace chiron::ml

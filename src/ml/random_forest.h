@@ -1,0 +1,80 @@
+// CART regression trees and bagged random forest — the "RFR" baseline of
+// Fig. 12 (the paper uses sklearn's RandomForestRegressor with default
+// parameters; we match the defaults: 100 trees, unlimited depth with a
+// min-split of 2, sqrt-free full-feature splits, bootstrap sampling).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chiron::ml {
+
+/// One training sample: a feature vector and a scalar target.
+struct Sample {
+  std::vector<double> features;
+  double target = 0.0;
+};
+
+/// CART regression tree (variance-reduction splits).
+class DecisionTree {
+ public:
+  struct Options {
+    std::size_t max_depth = 24;
+    std::size_t min_samples_split = 2;
+    /// Features considered per split; 0 = all.
+    std::size_t max_features = 0;
+  };
+
+  DecisionTree() = default;
+
+  /// Fits on the samples selected by `indices`.
+  void fit(const std::vector<Sample>& samples,
+           const std::vector<std::size_t>& indices, const Options& options,
+           Rng& rng);
+
+  double predict(const std::vector<double>& features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int left = -1;    ///< -1 marks a leaf
+    int right = -1;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  ///< leaf prediction
+  };
+
+  int build(const std::vector<Sample>& samples, std::vector<std::size_t>& idx,
+            std::size_t begin, std::size_t end, std::size_t depth,
+            const Options& options, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+/// Bagged random forest regressor.
+class RandomForest {
+ public:
+  struct Options {
+    std::size_t n_trees = 100;
+    DecisionTree::Options tree;
+    std::uint64_t seed = 0xF0;
+  };
+
+  RandomForest() : RandomForest(Options()) {}
+  explicit RandomForest(Options options);
+
+  /// Fits on the full sample set (bootstrap per tree).
+  void fit(const std::vector<Sample>& samples);
+
+  double predict(const std::vector<double>& features) const;
+
+ private:
+  Options options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace chiron::ml

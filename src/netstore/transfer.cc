@@ -1,0 +1,31 @@
+#include "netstore/transfer.h"
+
+#include <stdexcept>
+
+namespace chiron {
+
+TimeMs TransferModel::latency_ms(Bytes size) const {
+  if (bandwidth_mb_s <= 0.0) {
+    throw std::logic_error("transfer model bandwidth must be positive");
+  }
+  const double mb = static_cast<double>(size) / (1024.0 * 1024.0);
+  return base_ms + copies * mb / bandwidth_mb_s * 1000.0;
+}
+
+TransferModel s3_remote() {
+  // Calibrated to Fig. 4: ~52 ms at 1 B, ~25 s at 1 GB.
+  return {"S3", 52.0, 123.0, 3.0};
+}
+
+TransferModel minio_local() {
+  // Calibrated to Fig. 4: ~10 ms at 1 B, ~10 s at 1 GB.
+  return {"MinIO", 10.0, 205.0, 2.0};
+}
+
+TransferModel pipe_ipc(TimeMs base_ms) { return {"pipe", base_ms, 1500.0, 1.0}; }
+
+TransferModel shared_memory() { return {"shm", 0.0, 16384.0, 0.0}; }
+
+TransferModel local_rpc(TimeMs base_ms) { return {"rpc", base_ms, 1100.0, 1.0}; }
+
+}  // namespace chiron

@@ -1,0 +1,40 @@
+// Intermediate-data transfer models (paper §2.2 Observation 1, Fig. 4).
+// Every channel is `base + copies * size / bandwidth`: a fixed per-transfer
+// floor (handshakes, metadata ops, buffer copies) plus a bandwidth term.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace chiron {
+
+/// A point-to-point data channel between two functions.
+struct TransferModel {
+  std::string name;
+  TimeMs base_ms = 0.0;        ///< latency floor per transfer
+  double bandwidth_mb_s = 1.0; ///< MiB per second
+  double copies = 1.0;         ///< number of end-to-end data copies
+
+  /// One-way transfer latency for a payload of `size` bytes.
+  TimeMs latency_ms(Bytes size) const;
+};
+
+/// AWS S3 through Lambda: 52 ms floor (multiple copies, limited
+/// bandwidth), ~25 s for 1 GB (Fig. 4).
+TransferModel s3_remote();
+
+/// MinIO on the local 10 Gbps cluster: 10 ms floor, ~10 s for 1 GB.
+TransferModel minio_local();
+
+/// Linux pipe between processes in one sandbox (T_IPC of Eq. (3)).
+TransferModel pipe_ipc(TimeMs base_ms);
+
+/// Shared memory between threads in one process: effectively free; the
+/// paper assumes zero interaction time for intra-process threads (§3.3).
+TransferModel shared_memory();
+
+/// Wrap-to-wrap RPC invocation payload channel on the local cluster.
+TransferModel local_rpc(TimeMs base_ms);
+
+}  // namespace chiron

@@ -1,0 +1,12 @@
+#include "platform/backend.h"
+
+namespace chiron {
+
+TimeMs Backend::mean_latency(Rng& rng, int runs) const {
+  if (runs <= 0) return 0.0;
+  TimeMs sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += run(rng).e2e_latency_ms;
+  return sum / static_cast<TimeMs>(runs);
+}
+
+}  // namespace chiron

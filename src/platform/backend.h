@@ -1,0 +1,89 @@
+// Deployment backend interface: every system the paper evaluates (ASF,
+// OpenFaaS, SAND, Faastlane and its -T/-+/-M/-P variants, Chiron and its
+// -M/-P variants) is a Backend that simulates the end-to-end timeline of
+// one request and reports the resources the deployment holds.
+//
+// Backends are the reproduction's ground truth: they run the same
+// interleaving engines as the Predictor but on the true behaviours, with
+// run-to-run jitter and thread-contention effects the white-box Predictor
+// does not know about — so prediction error (Fig. 12) is an honest
+// measurement, not a tautology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/gil.h"
+#include "runtime/resources.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Timeline of one function within one simulated request.
+struct FunctionTimeline {
+  FunctionId id = kInvalidFunction;
+  TimeMs invoke_ms = 0.0;      ///< when its vehicle was dispatched
+  TimeMs start_exec_ms = 0.0;  ///< first instant of actual progress
+  TimeMs finish_ms = 0.0;
+  std::vector<TimelineSpan> spans;  ///< absolute-time spans
+
+  /// Dispatch-to-finish latency (the per-function CDF metric of Fig. 15).
+  TimeMs latency() const { return finish_ms - invoke_ms; }
+};
+
+/// Outcome of simulating one request end to end.
+struct RunResult {
+  TimeMs e2e_latency_ms = 0.0;
+  std::vector<TimeMs> stage_latency_ms;
+  std::vector<FunctionTimeline> functions;
+  /// Billable state transitions (ASF charges these, Fig. 19); zero for
+  /// self-hosted platforms.
+  std::size_t state_transitions = 0;
+};
+
+/// Simulation noise configuration shared by all backends.
+struct NoiseConfig {
+  /// Log-normal sigma applied to every duration independently
+  /// (0 = deterministic).
+  double jitter_sigma = 0.045;
+  /// Correlated whole-run log-normal sigma (machine load state): scales
+  /// every duration of one request by a single factor, so it does NOT
+  /// average out across a request's many segments.
+  double run_sigma = 0.03;
+  /// Residual per-extra-co-resident-thread CPU dilation on top of the
+  /// modeled RuntimeParams::thread_contention(), invisible to the
+  /// Predictor.
+  double thread_contention = 0.0015;
+  /// Wall-clock lost per GIL handoff (cv wakeup + cache refill); the
+  /// Predictor models it as zero.
+  TimeMs gil_handoff_ms = 0.05;
+  /// Model mis-specification: in the real system, sequential fork-block
+  /// and multi-invocation costs grow mildly superlinearly (scheduler queue
+  /// pressure); the Predictor's Eq. (2)/(4) assume linearity. The j-th
+  /// fork costs block * (1 + min(skew * j / 2, 0.25)); the k-th invocation
+  /// likewise (the dilation saturates at +25 %).
+  double model_skew = 0.012;
+};
+
+/// A deployed system serving one workflow.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Display name, e.g. "Faastlane-M".
+  virtual std::string name() const = 0;
+
+  /// Simulates one request; `rng` drives the run's jitter.
+  virtual RunResult run(Rng& rng) const = 0;
+
+  /// Resources the deployment holds while serving (peak residency).
+  virtual ResourceUsage resources() const = 0;
+
+  /// Mean e2e latency over `runs` simulated requests.
+  TimeMs mean_latency(Rng& rng, int runs) const;
+};
+
+}  // namespace chiron

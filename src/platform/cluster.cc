@@ -1,0 +1,140 @@
+#include "platform/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "sim/event_queue.h"
+
+namespace chiron {
+
+TimeMs cold_start_penalty(const RuntimeParams& params,
+                          std::size_t cascading_stages) {
+  return params.sandbox_cold_start_ms *
+         static_cast<TimeMs>(std::max<std::size_t>(1, cascading_stages));
+}
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config, RuntimeParams params)
+    : config_(config), params_(params) {}
+
+ClusterResult ClusterSimulator::run(const Backend& backend,
+                                    std::size_t cascading_stages) const {
+  const ResourceUsage usage = backend.resources();
+
+  // Instances the cluster can host; a deployment larger than one node
+  // spans nodes, so capacity is computed cluster-wide.
+  const double total_cpus =
+      static_cast<double>(params_.node_cpus * config_.nodes);
+  const double total_mem = params_.node_memory_mb *
+                           static_cast<double>(config_.nodes);
+  std::size_t max_instances = 0;
+  if (usage.cpus > 0.0 && usage.memory_mb > 0.0) {
+    max_instances = static_cast<std::size_t>(
+        std::min(total_cpus / usage.cpus, total_mem / usage.memory_mb));
+  }
+  max_instances = std::max<std::size_t>(1, max_instances);
+
+  Rng rng(config_.seed);
+  ArrivalGenerator arrivals(config_.arrivals, config_.offered_rps,
+                            rng.split());
+  const std::vector<TimeMs> arrival_times =
+      arrivals.generate(config_.horizon_ms);
+
+  ClusterResult result;
+  result.offered = arrival_times.size();
+
+  // Instance states: warm holds the idle-since time of each resident but
+  // idle instance.
+  std::vector<TimeMs> warm;
+  std::size_t live = 0;             // busy + warm instances
+  std::size_t busy = 0;
+  std::deque<TimeMs> queue;         // arrival times of waiting requests
+
+  std::vector<double> latencies;
+  double busy_area = 0.0;  // integral of busy instances over time
+  TimeMs last_event = 0.0;
+  Rng run_rng = rng.split();
+
+  EventQueue events;
+  const TimeMs cold_penalty = cold_start_penalty(params_, cascading_stages);
+
+  auto account = [&](TimeMs now) {
+    busy_area += static_cast<double>(busy) * (now - last_event);
+    last_event = now;
+  };
+
+  // Reclaims warm instances idle past the keep-alive.
+  auto reap = [&](TimeMs now) {
+    auto it = warm.begin();
+    while (it != warm.end()) {
+      if (now - *it >= config_.keep_alive_ms) {
+        it = warm.erase(it);
+        --live;
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  // Forward declaration trick: start_request schedules completion, which
+  // may start queued requests.
+  std::function<void(TimeMs, TimeMs)> start_request =
+      [&](TimeMs arrival, TimeMs now) {
+        account(now);
+        reap(now);
+        TimeMs startup = 0.0;
+        if (!warm.empty()) {
+          warm.pop_back();  // LIFO keeps hot instances hot
+        } else if (live < max_instances) {
+          ++live;
+          result.peak_instances = std::max(result.peak_instances, live);
+          ++result.cold_starts;
+          startup = cold_penalty;
+        } else {
+          queue.push_back(arrival);
+          result.peak_queue = std::max(result.peak_queue, queue.size());
+          return;
+        }
+        ++busy;
+        const TimeMs service = backend.run(run_rng).e2e_latency_ms;
+        const TimeMs finish = now + startup + service;
+        events.schedule(finish, [&, arrival, finish] {
+          account(finish);
+          --busy;
+          latencies.push_back(finish - arrival);
+          ++result.completed;
+          if (!queue.empty()) {
+            const TimeMs queued_arrival = queue.front();
+            queue.pop_front();
+            // The finishing instance is immediately reused (warm).
+            warm.push_back(finish);
+            start_request(queued_arrival, finish);
+          } else {
+            warm.push_back(finish);
+          }
+        });
+      };
+
+  for (TimeMs at : arrival_times) {
+    events.schedule(at, [&, at] { start_request(at, at); });
+  }
+  events.run();
+
+  if (!latencies.empty()) {
+    result.mean_ms = mean_of(latencies);
+    result.p50_ms = percentile(latencies, 50.0);
+    result.p95_ms = percentile(latencies, 95.0);
+    result.p99_ms = percentile(latencies, 99.0);
+  }
+  const TimeMs span = std::max(last_event, config_.horizon_ms);
+  result.achieved_rps =
+      span > 0.0 ? static_cast<double>(result.completed) / (span / 1000.0)
+                 : 0.0;
+  result.mean_busy_instances = span > 0.0 ? busy_area / span : 0.0;
+  return result;
+}
+
+}  // namespace chiron

@@ -1,0 +1,69 @@
+// Closed-loop cluster simulation: a pool of worker nodes serving an
+// arrival process of workflow requests against a deployed Backend, with
+// instance scale-out, cold starts, keep-alive expiry, and queueing.
+//
+// This complements the analytic node_throughput_rps() model (Fig. 16):
+// it shows *achieved* throughput and tail latency under offered load, and
+// reproduces the cascading-cold-start penalty of the one-to-one model
+// (§1: sandbox initialisation "can dominate the overall latency";
+// related work: Xanadu/ORION pre-warming) versus the m-to-n model, whose
+// wraps scale out as one unit.
+#pragma once
+
+#include "platform/backend.h"
+#include "runtime/params.h"
+#include "workflow/arrivals.h"
+
+namespace chiron {
+
+/// Cluster and load configuration.
+struct ClusterConfig {
+  std::size_t nodes = 1;
+  /// Idle instances are reclaimed after this long.
+  TimeMs keep_alive_ms = 10000.0;
+  /// Simulated duration.
+  TimeMs horizon_ms = 20000.0;
+  double offered_rps = 50.0;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  /// Requests abandoned if still queued at the horizon count as failed.
+  std::uint64_t seed = 0xC1057E4;
+};
+
+/// Outcome of one closed-loop run.
+struct ClusterResult {
+  std::size_t offered = 0;     ///< requests generated
+  std::size_t completed = 0;   ///< finished within the horizon
+  std::size_t cold_starts = 0; ///< instances launched
+  double achieved_rps = 0.0;
+  TimeMs mean_ms = 0.0;        ///< mean end-to-end (incl. queueing + cold)
+  TimeMs p50_ms = 0.0;
+  TimeMs p95_ms = 0.0;
+  TimeMs p99_ms = 0.0;
+  double mean_busy_instances = 0.0;  ///< time-averaged busy instances
+  std::size_t peak_instances = 0;    ///< max live (busy + warm) instances
+  std::size_t peak_queue = 0;        ///< max queued requests
+};
+
+/// Cold-start penalty for scaling a deployment instance from zero. The
+/// one-to-one model cold-starts each stage's sandboxes only when the
+/// request reaches them — a cascading penalty across stages; a wrap
+/// deployment's sandboxes scale out as one unit.
+TimeMs cold_start_penalty(const RuntimeParams& params,
+                          std::size_t cascading_stages);
+
+/// Discrete-event closed-loop simulator.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ClusterConfig config, RuntimeParams params);
+
+  /// Simulates `backend` under the configured load. `cascading_stages`
+  /// is the number of sequential cold-start fronts a scale-out pays
+  /// (one-to-one: the workflow's stage count; wrap plans: 1).
+  ClusterResult run(const Backend& backend, std::size_t cascading_stages) const;
+
+ private:
+  ClusterConfig config_;
+  RuntimeParams params_;
+};
+
+}  // namespace chiron

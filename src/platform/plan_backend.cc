@@ -1,0 +1,324 @@
+#include "platform/plan_backend.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/predictor.h"
+
+namespace chiron {
+namespace {
+
+constexpr std::size_t kUncapped = 1u << 20;
+
+double cpu_fraction(const FunctionBehavior& b) {
+  const TimeMs total = b.solo_latency();
+  return total <= 0.0 ? 1.0 : b.total_cpu() / total;
+}
+
+void shift_spans(std::vector<TimelineSpan>& spans, TimeMs by) {
+  for (TimelineSpan& s : spans) {
+    s.begin += by;
+    s.end += by;
+  }
+}
+
+}  // namespace
+
+WrapPlanBackend::WrapPlanBackend(std::string name, RuntimeParams params,
+                                 Workflow wf, WrapPlan plan, NoiseConfig noise)
+    : name_(std::move(name)),
+      params_(params),
+      wf_(std::move(wf)),
+      plan_(std::move(plan)),
+      noise_(noise),
+      runtime_(wf_.function_count() > 0 ? wf_.function(0).runtime
+                                        : Runtime::kPython3) {
+  plan_.validate(wf_);
+}
+
+TimeMs WrapPlanBackend::jit(TimeMs value, Rng& rng) const {
+  if (noise_.jitter_sigma <= 0.0) return value;
+  return value * rng.jitter(noise_.jitter_sigma);
+}
+
+bool WrapPlanBackend::true_parallel() const {
+  return runtime_ == Runtime::kJava || plan_.mode == IsolationMode::kPool;
+}
+
+TimeMs WrapPlanBackend::spawn_gap() const {
+  if (runtime_ == Runtime::kJava) return params_.java_thread_startup_ms;
+  // Node.js worker_threads pay >50 ms of startup per worker (§2.1).
+  if (runtime_ == Runtime::kNodeJs && plan_.mode != IsolationMode::kPool) {
+    return params_.node_worker_startup_ms;
+  }
+  switch (plan_.mode) {
+    case IsolationMode::kNative: return params_.thread_startup_ms;
+    case IsolationMode::kMpk:
+      return params_.thread_startup_ms + params_.mpk.startup_ms;
+    case IsolationMode::kSfi:
+      return params_.thread_startup_ms + params_.sfi.startup_ms;
+    case IsolationMode::kPool: return params_.pool_dispatch_ms;
+  }
+  return params_.thread_startup_ms;
+}
+
+FunctionBehavior WrapPlanBackend::runtime_behavior(FunctionId f,
+                                                   bool thread_context,
+                                                   std::size_t co_resident,
+                                                   Rng& rng) const {
+  FunctionBehavior b = wf_.function(f).behavior;
+  if (thread_context) {
+    if (plan_.mode == IsolationMode::kMpk) {
+      b = b.with_cpu_overhead(params_.mpk.exec_overhead(cpu_fraction(b)));
+    } else if (plan_.mode == IsolationMode::kSfi) {
+      b = b.with_cpu_overhead(params_.sfi.exec_overhead(cpu_fraction(b)));
+    }
+    if (runtime_ != Runtime::kJava && co_resident > 1) {
+      // Modeled GIL convoy/contention plus an unmodeled residual the
+      // Predictor does not see.
+      b = b.with_cpu_overhead(params_.thread_contention(co_resident) - 1.0);
+      if (noise_.thread_contention > 0.0) {
+        b = b.with_cpu_overhead(noise_.thread_contention *
+                                static_cast<double>(co_resident - 1));
+      }
+    }
+  }
+  if (noise_.jitter_sigma > 0.0) {
+    std::vector<Segment> segs = b.segments();
+    for (Segment& s : segs) s.duration *= rng.jitter(noise_.jitter_sigma);
+    b = FunctionBehavior(std::move(segs));
+  }
+  return b;
+}
+
+WrapPlanBackend::WrapOutcome WrapPlanBackend::simulate_wrap(const Wrap& w,
+                                                            Rng& rng) const {
+  WrapOutcome outcome;
+  const std::size_t cap = plan_.cpu_cap;
+
+  if (true_parallel()) {
+    // Pool workers / Java threads: one flat true-parallel dispatch.
+    std::vector<ThreadTask> tasks;
+    std::vector<FunctionId> ids;
+    const TimeMs gap = spawn_gap();
+    for (const ProcessGroup& g : w.processes) {
+      for (FunctionId f : g.functions) {
+        ThreadTask task;
+        task.behavior = runtime_behavior(f, /*thread_context=*/false,
+                                         /*co_resident=*/1, rng);
+        task.ready_ms = static_cast<TimeMs>(ids.size()) * jit(gap, rng);
+        ids.push_back(f);
+        tasks.push_back(std::move(task));
+      }
+    }
+    CpuShareSimulator sim(cap == 0 ? kUncapped : cap, /*record_spans=*/true);
+    InterleaveResult result = sim.run(tasks);
+    TimeMs ipc = 0.0;
+    if (runtime_ != Runtime::kJava && ids.size() > 1) {
+      ipc = static_cast<TimeMs>(ids.size() - 1) * jit(params_.ipc_pipe_ms, rng);
+    }
+    outcome.latency = result.makespan + ipc;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      FunctionTimeline tl;
+      tl.id = ids[i];
+      tl.invoke_ms = result.tasks[i].ready_ms;
+      tl.start_exec_ms = result.tasks[i].start_ms;
+      tl.finish_ms = result.tasks[i].finish_ms;
+      tl.spans = std::move(result.tasks[i].spans);
+      outcome.functions.push_back(std::move(tl));
+    }
+    return outcome;
+  }
+
+  // Process/thread execution: one GIL interpreter per process group.
+  struct GroupRun {
+    TimeMs base = 0.0;
+    TimeMs exec = 0.0;
+    InterleaveResult result;
+    const ProcessGroup* group = nullptr;
+  };
+  std::vector<GroupRun> runs;
+  std::size_t fork_index = 0;
+  const TimeMs gap = spawn_gap();
+  for (const ProcessGroup& g : w.processes) {
+    const bool thread_context = g.mode == ExecMode::kThread || g.size() > 1;
+    std::vector<ThreadTask> tasks;
+    for (std::size_t i = 0; i < g.functions.size(); ++i) {
+      ThreadTask task;
+      task.behavior =
+          runtime_behavior(g.functions[i], thread_context, g.size(), rng);
+      task.ready_ms = static_cast<TimeMs>(i) * jit(gap, rng);
+      tasks.push_back(std::move(task));
+    }
+    GroupRun run;
+    run.group = &g;
+    if (g.mode == ExecMode::kThread) {
+      run.base = 0.0;  // resident orchestrator
+    } else {
+      // Superlinear queue-pressure skew the Predictor does not model.
+      const double skew =
+          1.0 + std::min(0.25, noise_.model_skew *
+                                   static_cast<double>(fork_index) / 2.0);
+      run.base = static_cast<TimeMs>(fork_index) *
+                     jit(params_.process_block_ms * skew, rng) +
+                 jit(params_.process_startup_ms, rng);
+      ++fork_index;
+    }
+    GilSimulator sim(params_.gil_switch_interval_ms, /*record_spans=*/true,
+                     noise_.gil_handoff_ms);
+    run.result = sim.run(tasks);
+    run.exec = run.result.makespan;
+    if ((plan_.mode == IsolationMode::kSfi ||
+         plan_.mode == IsolationMode::kMpk) &&
+        g.size() > 1) {
+      const IsolationParams& iso =
+          plan_.mode == IsolationMode::kSfi ? params_.sfi : params_.mpk;
+      run.exec += iso.interaction_ms * static_cast<TimeMs>(g.size() - 1);
+    }
+    runs.push_back(std::move(run));
+  }
+
+  const std::size_t nproc = w.process_count();
+  const TimeMs ipc = nproc > 1 ? static_cast<TimeMs>(nproc - 1) *
+                                     jit(params_.ipc_pipe_ms, rng)
+                               : 0.0;
+  TimeMs uncapped = 0.0;
+  for (const GroupRun& r : runs) {
+    uncapped = std::max(uncapped, r.base + r.exec);
+  }
+  uncapped += ipc;
+
+  // CPU cap below the process count: processes time-share the allocated
+  // cores. Wrap latency comes from a second-level simulation over each
+  // process's effective CPU/block profile; per-function timelines are
+  // dilated by the resulting slowdown (documented approximation).
+  double dilation = 1.0;
+  TimeMs capped = uncapped;
+  if (cap > 0 && nproc > cap) {
+    std::vector<ThreadTask> ptasks;
+    for (const GroupRun& r : runs) {
+      ThreadTask task;
+      task.behavior = effective_behavior(r.result);
+      task.ready_ms = r.base;
+      ptasks.push_back(std::move(task));
+    }
+    CpuShareSimulator sim(cap);
+    capped = sim.run(ptasks).makespan + ipc;
+    if (uncapped > 0.0) dilation = capped / uncapped;
+  }
+  outcome.latency = capped;
+
+  for (GroupRun& r : runs) {
+    for (std::size_t i = 0; i < r.group->functions.size(); ++i) {
+      FunctionTimeline tl;
+      tl.id = r.group->functions[i];
+      TaskResult& task = r.result.tasks[i];
+      tl.invoke_ms = (r.base + task.ready_ms) * dilation;
+      tl.start_exec_ms = (r.base + task.start_ms) * dilation;
+      tl.finish_ms = (r.base + task.finish_ms) * dilation;
+      tl.spans = std::move(task.spans);
+      shift_spans(tl.spans, r.base);
+      if (dilation != 1.0) {
+        for (TimelineSpan& s : tl.spans) {
+          s.begin *= dilation;
+          s.end *= dilation;
+        }
+      }
+      outcome.functions.push_back(std::move(tl));
+    }
+  }
+  return outcome;
+}
+
+RunResult WrapPlanBackend::run(Rng& rng) const {
+  RunResult result;
+  // Whole-run load factor: one correlated multiplier per request.
+  const double run_scale =
+      noise_.run_sigma > 0.0 ? rng.jitter(noise_.run_sigma) : 1.0;
+  TimeMs t = 0.0;
+  for (const StagePlan& sp : plan_.stages) {
+    TimeMs stage_latency = 0.0;
+    for (std::size_t k = 0; k < sp.wraps.size(); ++k) {
+      const double skew =
+          1.0 +
+          std::min(0.25, noise_.model_skew * static_cast<double>(k) / 2.0);
+      TimeMs offset = 0.0;
+      if (k > 0) {
+        offset = params_.decentralized_scheduling
+                     ? jit(params_.rpc_ms, rng)
+                     : static_cast<TimeMs>(k - 1) *
+                               jit(params_.inv_ms * skew, rng) +
+                           jit(params_.rpc_ms, rng);
+      }
+      WrapOutcome outcome = simulate_wrap(sp.wraps[k], rng);
+      stage_latency = std::max(stage_latency, offset + outcome.latency);
+      for (FunctionTimeline& tl : outcome.functions) {
+        tl.invoke_ms += t + offset;
+        tl.start_exec_ms += t + offset;
+        tl.finish_ms += t + offset;
+        shift_spans(tl.spans, t + offset);
+        result.functions.push_back(std::move(tl));
+      }
+    }
+    result.stage_latency_ms.push_back(stage_latency);
+    t += stage_latency;
+  }
+  if (run_scale != 1.0) {
+    t *= run_scale;
+    for (TimeMs& s : result.stage_latency_ms) s *= run_scale;
+    for (FunctionTimeline& tl : result.functions) {
+      tl.invoke_ms *= run_scale;
+      tl.start_exec_ms *= run_scale;
+      tl.finish_ms *= run_scale;
+      for (TimelineSpan& span : tl.spans) {
+        span.begin *= run_scale;
+        span.end *= run_scale;
+      }
+    }
+  }
+  result.e2e_latency_ms = t;
+  result.state_transitions = 0;
+  return result;
+}
+
+ResourceUsage WrapPlanBackend::resources() const {
+  ResourceUsage peak;
+  for (const StagePlan& sp : plan_.stages) {
+    ResourceUsage stage;
+    for (const Wrap& w : sp.wraps) {
+      MemMb fn_mem = 0.0;
+      std::size_t threads = 0;
+      for (const ProcessGroup& g : w.processes) {
+        for (FunctionId f : g.functions) fn_mem += wf_.function(f).memory_mb;
+        if (g.mode == ExecMode::kThread) {
+          threads += g.size();
+        } else if (g.size() > 1) {
+          threads += g.size() - 1;
+        }
+      }
+      std::size_t processes;
+      std::size_t pool_workers = 0;
+      if (plan_.mode == IsolationMode::kPool) {
+        processes = 1;  // the resident pool master
+        pool_workers = w.function_count();
+        threads = 0;
+      } else {
+        processes = w.forked_count() + 1;  // + resident orchestrator
+      }
+      stage.memory_mb += sandbox_memory_mb(params_, processes, threads,
+                                           pool_workers, fn_mem);
+      stage.sandboxes += 1;
+      stage.processes += processes;
+      stage.threads += threads;
+    }
+    if (stage.memory_mb > peak.memory_mb) {
+      const double cpus = peak.cpus;
+      peak = stage;
+      peak.cpus = cpus;
+    }
+  }
+  peak.cpus = static_cast<double>(plan_.allocated_cpus());
+  return peak;
+}
+
+}  // namespace chiron

@@ -1,0 +1,61 @@
+// WrapPlanBackend: executes any WrapPlan as a simulated timeline. All
+// sandbox-sharing systems are instances of this backend with different
+// plans and modes:
+//
+//   SAND         = sand_plan,        native
+//   Faastlane    = faastlane_plan,   native      (-M: mpk, -P: pool)
+//   Faastlane-T  = faastlane_t_plan, native
+//   Faastlane+   = faastlane_plus_plan, native
+//   Chiron       = PGP plan,         native      (-M: mpk, -P: pool)
+//
+// Ground truth differs from the Predictor in three ways: log-normal jitter
+// on every duration, CPU dilation for co-resident threads (cache and
+// allocator contention), and per-run re-sampling — giving Fig. 12/14 real
+// error to measure.
+#pragma once
+
+#include "core/wrap.h"
+#include "platform/backend.h"
+#include "runtime/params.h"
+
+namespace chiron {
+
+/// Simulates a wrap-plan deployment of one workflow.
+class WrapPlanBackend : public Backend {
+ public:
+  WrapPlanBackend(std::string name, RuntimeParams params, Workflow wf,
+                  WrapPlan plan, NoiseConfig noise = {});
+
+  std::string name() const override { return name_; }
+  RunResult run(Rng& rng) const override;
+  ResourceUsage resources() const override;
+
+  const WrapPlan& plan() const { return plan_; }
+
+ private:
+  struct WrapOutcome {
+    TimeMs latency = 0.0;  ///< wrap-local completion time
+    std::vector<FunctionTimeline> functions;  ///< wrap-local times
+  };
+
+  /// Simulates one wrap; times are relative to the wrap's own start.
+  WrapOutcome simulate_wrap(const Wrap& w, Rng& rng) const;
+
+  /// True behaviour of `f` as it executes in this run: isolation overhead
+  /// (thread context), co-resident-thread contention, per-segment jitter.
+  FunctionBehavior runtime_behavior(FunctionId f, bool thread_context,
+                                    std::size_t co_resident, Rng& rng) const;
+
+  TimeMs jit(TimeMs value, Rng& rng) const;
+  TimeMs spawn_gap() const;
+  bool true_parallel() const;
+
+  std::string name_;
+  RuntimeParams params_;
+  Workflow wf_;
+  WrapPlan plan_;
+  NoiseConfig noise_;
+  Runtime runtime_;
+};
+
+}  // namespace chiron

@@ -1,0 +1,127 @@
+#include "platform/systems.h"
+
+#include <stdexcept>
+
+#include "core/chiron.h"
+#include "platform/one_to_one.h"
+#include "platform/plan_backend.h"
+
+namespace chiron {
+namespace {
+
+std::unique_ptr<Backend> plan_backend(const std::string& name,
+                                      const Workflow& wf, WrapPlan plan,
+                                      IsolationMode mode,
+                                      const SystemOptions& opts) {
+  plan.mode = mode;
+  return std::make_unique<WrapPlanBackend>(name, opts.params, wf,
+                                           std::move(plan), opts.noise);
+}
+
+std::unique_ptr<Backend> chiron_backend(const std::string& name,
+                                        const Workflow& wf, IsolationMode mode,
+                                        const SystemOptions& opts) {
+  ChironConfig config;
+  config.params = opts.params;
+  config.mode = mode;
+  config.seed = opts.seed;
+  Chiron manager(config);
+  const TimeMs slo = opts.slo_ms > 0.0 ? opts.slo_ms : default_slo(wf, opts);
+  Deployment deployment = manager.deploy(wf, slo);
+  return std::make_unique<WrapPlanBackend>(name, opts.params, wf,
+                                           std::move(deployment.plan),
+                                           opts.noise);
+}
+
+}  // namespace
+
+TimeMs default_slo(const Workflow& wf, const SystemOptions& opts) {
+  WrapPlanBackend faastlane("Faastlane", opts.params, wf, faastlane_plan(wf),
+                            opts.noise);
+  Rng rng(opts.seed ^ 0xFA57);
+  return faastlane.mean_latency(rng, 10) + 10.0;
+}
+
+std::unique_ptr<Backend> make_system(const std::string& system,
+                                     const Workflow& wf,
+                                     const SystemOptions& opts) {
+  if (system == "ASF") {
+    return std::make_unique<OneToOneBackend>(OneToOneKind::kAsf, opts.params,
+                                             wf, opts.noise);
+  }
+  if (system == "OpenFaaS") {
+    return std::make_unique<OneToOneBackend>(OneToOneKind::kOpenFaas,
+                                             opts.params, wf, opts.noise);
+  }
+  if (system == "SAND") {
+    return plan_backend(system, wf, sand_plan(wf), IsolationMode::kNative,
+                        opts);
+  }
+  if (system == "Faastlane") {
+    return plan_backend(system, wf, faastlane_plan(wf), IsolationMode::kNative,
+                        opts);
+  }
+  if (system == "Faastlane-T") {
+    return plan_backend(system, wf, faastlane_t_plan(wf),
+                        IsolationMode::kNative, opts);
+  }
+  if (system == "Faastlane+") {
+    return plan_backend(system, wf, faastlane_plus_plan(wf),
+                        IsolationMode::kNative, opts);
+  }
+  if (system == "Faastlane-M") {
+    return plan_backend(system, wf, faastlane_plan(wf), IsolationMode::kMpk,
+                        opts);
+  }
+  if (system == "Faastlane-P") {
+    return plan_backend(system, wf, faastlane_plan(wf), IsolationMode::kPool,
+                        opts);
+  }
+  if (system == "Faastlane-S") {
+    return plan_backend(system, wf, faastlane_plan(wf), IsolationMode::kSfi,
+                        opts);
+  }
+  if (system == "Chiron-S") {
+    return chiron_backend(system, wf, IsolationMode::kSfi, opts);
+  }
+  if (system == "Chiron") {
+    return chiron_backend(system, wf, IsolationMode::kNative, opts);
+  }
+  if (system == "Chiron-M") {
+    return chiron_backend(system, wf, IsolationMode::kMpk, opts);
+  }
+  if (system == "Chiron-P") {
+    return chiron_backend(system, wf, IsolationMode::kPool, opts);
+  }
+  throw std::invalid_argument("unknown system '" + system + "'");
+}
+
+const std::vector<std::string>& fig13_systems() {
+  static const std::vector<std::string> systems{
+      "ASF",        "OpenFaaS",    "SAND",       "Faastlane", "Chiron",
+      "Faastlane-M", "Chiron-M",   "Faastlane-P", "Chiron-P"};
+  return systems;
+}
+
+SystemEval evaluate_system(const Backend& backend, const RuntimeParams& params,
+                           Rng& rng, int runs) {
+  SystemEval eval;
+  eval.system = backend.name();
+  RunResult last;
+  TimeMs sum = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    last = backend.run(rng);
+    sum += last.e2e_latency_ms;
+  }
+  eval.mean_latency_ms = runs > 0 ? sum / runs : 0.0;
+  eval.usage = backend.resources();
+  eval.throughput_rps =
+      node_throughput_rps(params, eval.usage, eval.mean_latency_ms);
+  eval.cost_per_million_usd =
+      cost_per_request_usd(params, eval.usage, eval.mean_latency_ms,
+                           last.state_transitions) *
+      1e6;
+  return eval;
+}
+
+}  // namespace chiron

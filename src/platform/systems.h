@@ -1,0 +1,54 @@
+// Factory for every system the paper evaluates, plus the shared
+// evaluation harness (mean latency, resources, throughput, dollar cost)
+// used by Figs. 13-19.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/backend.h"
+#include "runtime/params.h"
+
+namespace chiron {
+
+/// Options shared by all systems of one experiment.
+struct SystemOptions {
+  RuntimeParams params;
+  NoiseConfig noise;
+  /// Latency SLO handed to Chiron; 0 means the paper's default, the
+  /// Faastlane average latency plus 10 ms of slack (§6.2).
+  TimeMs slo_ms = 0.0;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// The paper's SLO convention: mean Faastlane (native) latency + 10 ms.
+TimeMs default_slo(const Workflow& wf, const SystemOptions& opts);
+
+/// Builds a deployed backend for `system`, one of: "ASF", "OpenFaaS",
+/// "SAND", "Faastlane", "Faastlane-T", "Faastlane+", "Faastlane-M",
+/// "Faastlane-P", "Faastlane-S", "Chiron", "Chiron-M", "Chiron-P",
+/// "Chiron-S" (-S: WebAssembly SFI isolation, evaluated in Table 1 but
+/// dominated by MPK — included for completeness).
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Backend> make_system(const std::string& system,
+                                     const Workflow& wf,
+                                     const SystemOptions& opts);
+
+/// The nine systems of Fig. 13, in the paper's order.
+const std::vector<std::string>& fig13_systems();
+
+/// One evaluated row: the quantities the resource figures report.
+struct SystemEval {
+  std::string system;
+  TimeMs mean_latency_ms = 0.0;
+  ResourceUsage usage;
+  double throughput_rps = 0.0;
+  double cost_per_million_usd = 0.0;
+};
+
+/// Runs `backend` `runs` times and derives the Fig. 16/17/19 metrics.
+SystemEval evaluate_system(const Backend& backend, const RuntimeParams& params,
+                           Rng& rng, int runs);
+
+}  // namespace chiron

@@ -1,0 +1,262 @@
+#include "runtime/gil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace chiron {
+namespace {
+
+constexpr TimeMs kEps = 1e-9;
+
+enum class State : std::uint8_t { kNotReady, kRunnable, kBlocked, kDone };
+
+struct TaskState {
+  const FunctionBehavior* behavior = nullptr;
+  std::size_t seg = 0;        // index of current segment
+  TimeMs seg_remaining = 0.0; // remaining time in current segment
+  State state = State::kNotReady;
+  TimeMs ready = 0.0;
+  TimeMs unblock = 0.0;
+  TimeMs cpu = 0.0;
+  TimeMs start = -1.0;
+  TimeMs finish = 0.0;
+  std::vector<TimelineSpan> spans;
+};
+
+void push_span(TaskState& t, bool record, TimelineSpan::Kind kind, TimeMs b,
+               TimeMs e) {
+  if (!record || e - b <= kEps) return;
+  if (!t.spans.empty() && t.spans.back().kind == kind &&
+      std::abs(t.spans.back().end - b) <= kEps) {
+    t.spans.back().end = e;
+  } else {
+    t.spans.push_back({kind, b, e});
+  }
+}
+
+// Moves `t` into its segment `seg` at time `now`: becomes blocked, runnable,
+// or done. Returns true if the task finished.
+bool enter_segment(TaskState& t, TimeMs now, bool record) {
+  const auto& segs = t.behavior->segments();
+  while (t.seg < segs.size() && segs[t.seg].duration <= kEps) ++t.seg;
+  if (t.seg >= segs.size()) {
+    t.state = State::kDone;
+    t.finish = now;
+    return true;
+  }
+  const Segment& s = segs[t.seg];
+  t.seg_remaining = s.duration;
+  if (s.kind == Segment::Kind::kBlock) {
+    t.state = State::kBlocked;
+    t.unblock = now + s.duration;
+    if (t.start < 0.0) t.start = now;
+    push_span(t, record, TimelineSpan::Kind::kBlock, now, t.unblock);
+  } else {
+    t.state = State::kRunnable;
+  }
+  return false;
+}
+
+InterleaveResult collect(std::vector<TaskState>& states) {
+  InterleaveResult result;
+  result.tasks.reserve(states.size());
+  for (TaskState& t : states) {
+    TaskResult r;
+    r.ready_ms = t.ready;
+    r.start_ms = t.start < 0.0 ? t.finish : t.start;
+    r.finish_ms = t.finish;
+    r.cpu_ms = t.cpu;
+    r.spans = std::move(t.spans);
+    result.makespan = std::max(result.makespan, r.finish_ms);
+    result.tasks.push_back(std::move(r));
+  }
+  return result;
+}
+
+std::vector<TaskState> init_states(const std::vector<ThreadTask>& tasks) {
+  std::vector<TaskState> states(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    states[i].behavior = &tasks[i].behavior;
+    states[i].ready = tasks[i].ready_ms;
+  }
+  return states;
+}
+
+// Admits arrivals and expired blocks up to time `now`. Runs to a fixpoint
+// so that a chain of already-expired block segments is fully consumed and
+// next_event() afterwards is strictly in the future.
+void process_events(std::vector<TaskState>& states, TimeMs now, bool record) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TaskState& t : states) {
+      if (t.state == State::kNotReady && t.ready <= now + kEps) {
+        enter_segment(t, t.ready, record);
+        changed = true;
+      } else if (t.state == State::kBlocked && t.unblock <= now + kEps) {
+        const TimeMs at = t.unblock;
+        ++t.seg;
+        enter_segment(t, at, record);
+        changed = true;
+      }
+    }
+  }
+}
+
+// Earliest pending arrival or unblock, or +inf.
+TimeMs next_event(const std::vector<TaskState>& states) {
+  TimeMs next = std::numeric_limits<TimeMs>::infinity();
+  for (const TaskState& t : states) {
+    if (t.state == State::kNotReady) next = std::min(next, t.ready);
+    if (t.state == State::kBlocked) next = std::min(next, t.unblock);
+  }
+  return next;
+}
+
+bool all_done(const std::vector<TaskState>& states) {
+  return std::all_of(states.begin(), states.end(), [](const TaskState& t) {
+    return t.state == State::kDone;
+  });
+}
+
+}  // namespace
+
+GilSimulator::GilSimulator(TimeMs switch_interval_ms, bool record_spans,
+                           TimeMs switch_cost_ms)
+    : switch_interval_(switch_interval_ms),
+      record_spans_(record_spans),
+      switch_cost_(switch_cost_ms) {}
+
+InterleaveResult GilSimulator::run(const std::vector<ThreadTask>& tasks) const {
+  std::vector<TaskState> states = init_states(tasks);
+  TimeMs now = 0.0;
+  std::size_t last_holder = states.size();  // sentinel: no previous holder
+
+  while (!all_done(states)) {
+    process_events(states, now, record_spans_);
+
+    // Gather the runnable set.
+    std::vector<std::size_t> runnable;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].state == State::kRunnable) runnable.push_back(i);
+    }
+    if (runnable.empty()) {
+      const TimeMs next = next_event(states);
+      if (!std::isfinite(next)) break;  // defensive: nothing left to run
+      now = std::max(now, next);
+      continue;
+    }
+
+    // CFS pick: least accumulated CPU time; ties by earliest ready, then id.
+    std::size_t holder = runnable.front();
+    for (std::size_t idx : runnable) {
+      const TaskState& cand = states[idx];
+      const TaskState& best = states[holder];
+      if (cand.cpu < best.cpu - kEps ||
+          (std::abs(cand.cpu - best.cpu) <= kEps && cand.ready < best.ready)) {
+        holder = idx;
+      }
+    }
+
+    // Handoff cost when the interpreter switches threads.
+    if (switch_cost_ > 0.0 && holder != last_holder &&
+        last_holder != states.size()) {
+      now += switch_cost_;
+    }
+    last_holder = holder;
+
+    TaskState& h = states[holder];
+    if (h.start < 0.0) h.start = now;
+    const bool contended = runnable.size() > 1;
+    TimeMs dt = h.seg_remaining;
+    if (contended) dt = std::min(dt, switch_interval_);
+    dt = std::max(dt, kEps);
+
+    push_span(h, record_spans_, TimelineSpan::Kind::kCpu, now, now + dt);
+    if (record_spans_) {
+      for (std::size_t idx : runnable) {
+        if (idx != holder) {
+          push_span(states[idx], true, TimelineSpan::Kind::kWait, now, now + dt);
+        }
+      }
+    }
+
+    now += dt;
+    h.cpu += dt;
+    h.seg_remaining -= dt;
+    if (h.seg_remaining <= kEps) {
+      ++h.seg;
+      enter_segment(h, now, record_spans_);
+    }
+  }
+  return collect(states);
+}
+
+CpuShareSimulator::CpuShareSimulator(std::size_t cpus, bool record_spans)
+    : cpus_(cpus == 0 ? 1 : cpus), record_spans_(record_spans) {}
+
+InterleaveResult CpuShareSimulator::run(
+    const std::vector<ThreadTask>& tasks) const {
+  std::vector<TaskState> states = init_states(tasks);
+  TimeMs now = 0.0;
+
+  while (!all_done(states)) {
+    process_events(states, now, record_spans_);
+
+    std::vector<std::size_t> runnable;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].state == State::kRunnable) runnable.push_back(i);
+    }
+    if (runnable.empty()) {
+      const TimeMs next = next_event(states);
+      if (!std::isfinite(next)) break;
+      now = std::max(now, next);
+      continue;
+    }
+
+    // Fluid processor sharing: each runnable task progresses at `rate`.
+    const double rate = std::min(
+        1.0, static_cast<double>(cpus_) / static_cast<double>(runnable.size()));
+
+    // Advance to the earliest of: a runnable segment completing at this
+    // rate, an arrival, or an unblock.
+    TimeMs dt = std::numeric_limits<TimeMs>::infinity();
+    for (std::size_t idx : runnable) {
+      dt = std::min(dt, states[idx].seg_remaining / rate);
+    }
+    const TimeMs next = next_event(states);
+    if (std::isfinite(next) && next > now) dt = std::min(dt, next - now);
+    dt = std::max(dt, kEps);
+
+    for (std::size_t idx : runnable) {
+      TaskState& t = states[idx];
+      if (t.start < 0.0) t.start = now;
+      const TimeMs progress = rate * dt;
+      push_span(t, record_spans_, TimelineSpan::Kind::kCpu, now, now + dt);
+      t.cpu += progress;
+      t.seg_remaining -= progress;
+    }
+    now += dt;
+    for (std::size_t idx : runnable) {
+      TaskState& t = states[idx];
+      if (t.state == State::kRunnable && t.seg_remaining <= kEps * 10) {
+        ++t.seg;
+        enter_segment(t, now, record_spans_);
+      }
+    }
+  }
+  return collect(states);
+}
+
+std::vector<ThreadTask> staggered_tasks(
+    const std::vector<FunctionBehavior>& behaviors, TimeMs spawn_gap_ms) {
+  std::vector<ThreadTask> tasks;
+  tasks.reserve(behaviors.size());
+  for (std::size_t i = 0; i < behaviors.size(); ++i) {
+    tasks.push_back({behaviors[i], static_cast<TimeMs>(i) * spawn_gap_ms});
+  }
+  return tasks;
+}
+
+}  // namespace chiron

@@ -1,0 +1,46 @@
+#include "runtime/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chiron {
+
+double IsolationParams::exec_overhead(double cpu_frac) const {
+  const double f = std::clamp(cpu_frac, 0.0, 1.0);
+  return std::max(0.0, exec_overhead_intercept + exec_overhead_slope * f);
+}
+
+double RuntimeParams::thread_contention(std::size_t co_resident) const {
+  if (co_resident <= 1) return 1.0;
+  return 1.0 + thread_contention_coeff *
+                   std::pow(static_cast<double>(co_resident - 1),
+                            thread_contention_exp);
+}
+
+TimeMs RuntimeParams::asf_scheduling_ms(std::size_t n) const {
+  if (n == 0) return 0.0;
+  // 150 ms to schedule one function; ~10 concurrent scheduling slots, so
+  // fan-out beyond that serialises (~30 ms/extra function) and large
+  // fan-outs hit queueing growth (FINRA-200 > 8 s, §6.2).
+  const double nn = static_cast<double>(n);
+  double t = 150.0;
+  if (nn > 5.0) t += 30.0 * (nn - 5.0);
+  if (nn > 50.0) t += 0.1 * (nn - 50.0) * (nn - 50.0);
+  return t;
+}
+
+TimeMs RuntimeParams::openfaas_scheduling_ms(std::size_t n) const {
+  if (n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  // Quadratic fit through the Fig. 3 measurements (2 / 70 / 180 ms at
+  // n = 5 / 25 / 50), clamped to a 0.3 ms/function floor for small n.
+  const double fit = 0.022222 * nn * nn + 2.73333 * nn - 12.2222;
+  return std::max(0.3 * nn, fit);
+}
+
+const RuntimeParams& RuntimeParams::defaults() {
+  static const RuntimeParams params{};
+  return params;
+}
+
+}  // namespace chiron

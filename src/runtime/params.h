@@ -1,0 +1,131 @@
+// RuntimeParams: every calibrated constant of the reproduction in one
+// place. Each value cites the paper measurement it reproduces; benches and
+// tests share the same defaults so the whole evaluation is consistent.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace chiron {
+
+/// Per-mechanism isolation overheads (paper Table 1 and §2.2).
+struct IsolationParams {
+  TimeMs startup_ms = 0.0;      ///< per-function startup overhead
+  TimeMs interaction_ms = 0.0;  ///< per-interaction overhead
+  /// Execution slowdown applied to CPU time, linear in the CPU fraction of
+  /// the behaviour: overhead(f) = max(0, intercept + slope * f). Table 1
+  /// anchors: MPK 35.2 % for pure-CPU fibonacci, 7.3 % for disk-io.
+  double exec_overhead_slope = 0.0;
+  double exec_overhead_intercept = 0.0;
+
+  /// Execution overhead for a behaviour whose CPU fraction is `cpu_frac`.
+  double exec_overhead(double cpu_frac) const;
+};
+
+/// All calibrated constants. Defaults reproduce the paper's testbed
+/// (Table 2: 40-core Xeon 6230 @2.1 GHz, 128 GB nodes, local 10 Gbps).
+struct RuntimeParams {
+  // --- GIL & threads -------------------------------------------------
+  /// CPython's sys.getswitchinterval default (5 ms), the timeout in Fig. 2.
+  TimeMs gil_switch_interval_ms = 5.0;
+  /// Superlinear CPU dilation for threads sharing one interpreter (GIL
+  /// convoy + cache/allocator contention): a thread co-resident with
+  /// (n-1) others runs its CPU periods (1 + coeff * (n-1)^exp) slower.
+  /// Calibrated so thread-only execution wins FINRA-5 by ~17 % but is
+  /// ~77 % slower than OpenFaaS at FINRA-50 (Fig. 6 / Obs. 3).
+  double thread_contention_coeff = 0.006;
+  double thread_contention_exp = 1.5;
+
+  /// CPU dilation factor for a thread co-resident with `co_resident - 1`
+  /// sibling threads of the same interpreter.
+  double thread_contention(std::size_t co_resident) const;
+  /// Thread clone startup: 96 % lower than process startup (§1).
+  TimeMs thread_startup_ms = 0.3;
+  /// Java thread startup (true parallelism, Fig. 18).
+  TimeMs java_thread_startup_ms = 0.15;
+  /// Node.js worker_threads startup (> 50 ms, §2.1); for reference only.
+  TimeMs node_worker_startup_ms = 50.0;
+
+  // --- Processes ------------------------------------------------------
+  /// Fork-to-execution-start startup (avg 7.5 ms, Fig. 5 / Obs. 2).
+  TimeMs process_startup_ms = 7.5;
+  /// Sequential-fork block time per predecessor process, Eq. (4).
+  /// Calibration note: the motivation testbed measures up to 169 ms of
+  /// block for 50 forks (~3.45 ms each, Obs. 2), but the evaluation
+  /// numbers (Faastlane FINRA-100 ~190 ms; 17 processes at a 200 ms SLO,
+  /// Fig. 11) imply ~1.2 ms per fork on the evaluation cluster. We
+  /// calibrate to the evaluation; EXPERIMENTS.md records the tension.
+  TimeMs process_block_ms = 1.2;
+  /// IPC through a Linux pipe per interaction, Eq. (3). FINRA-5 spends
+  /// 4.3 ms on IPC (§2.2); Eq. (3) charges per co-located process, and
+  /// the evaluation-scale fit gives ~0.35 ms per interaction.
+  TimeMs ipc_pipe_ms = 0.35;
+
+  // --- Process pool (§4 "True Parallelism") ---------------------------
+  /// Dispatch of one task onto a pre-forked pool worker.
+  TimeMs pool_dispatch_ms = 0.25;
+  /// Resident memory per long-running pool worker (MiB); pools trade
+  /// memory for startup ("more than 5x memory", §6.3).
+  MemMb pool_worker_mb = 14.0;
+
+  // --- Sandboxes / platform scheduling --------------------------------
+  /// Cold start of a Python container (167 ms, §1 [63]).
+  TimeMs sandbox_cold_start_ms = 167.0;
+  /// Warm sandbox invocation dispatch (of-watchdog HTTP proxy hop).
+  TimeMs sandbox_invoke_ms = 0.6;
+  /// T_RPC of Eq. (2): one wrap-to-wrap network invocation including the
+  /// payload hop and remote watchdog dispatch, local cluster.
+  TimeMs rpc_ms = 8.0;
+  /// T_INV of Eq. (2): per-extra-invocation platform/library overhead at
+  /// the invoking orchestrator. Matches the OpenFaaS dispatch rate in
+  /// Fig. 3 (~3.6 ms per parallel function at fan-out 50).
+  TimeMs inv_ms = 3.6;
+  /// §7: decentralized scheduling offloads wrap invocation to per-node
+  /// agents, removing the centralized orchestrator's serial (k-1) * T_INV
+  /// fan-out term — every remote wrap starts after one T_RPC. Off by
+  /// default (the paper's Chiron is centralized; this is the discussed
+  /// mitigation for many-wrap workflows).
+  bool decentralized_scheduling = false;
+
+  // --- Isolation mechanisms (Table 1) ---------------------------------
+  IsolationParams mpk{/*startup*/ 0.2, /*interaction*/ 0.0,
+                      /*slope*/ 0.372, /*intercept*/ -0.020};
+  IsolationParams sfi{/*startup*/ 18.0, /*interaction*/ 8.0,
+                      /*slope*/ 0.3133, /*intercept*/ 0.2157};
+
+  // --- Memory model (Fig. 8/16) ----------------------------------------
+  /// Container + watchdog baseline per sandbox.
+  MemMb sandbox_base_mb = 18.0;
+  /// Language runtime + shared libraries loaded once per sandbox; the
+  /// "77.2 % redundancy" of one-to-one deployments comes from duplicating
+  /// this (§2.2 Obs. 4).
+  MemMb runtime_mb = 12.0;
+  /// Interpreter state duplicated per forked process (copy-on-write rest).
+  MemMb per_process_mb = 6.0;
+  /// Stack + bookkeeping per thread.
+  MemMb per_thread_mb = 0.6;
+
+  // --- Worker node (Table 2) -------------------------------------------
+  std::size_t node_cpus = 40;
+  MemMb node_memory_mb = 128.0 * 1024.0;
+  double cpu_freq_ghz = 2.1;
+
+  // --- Pricing (Fig. 19, Google Cloud Functions rates [7]) -------------
+  double usd_per_gb_second = 0.0000025;
+  double usd_per_ghz_second = 0.0000100;
+  /// AWS Step Functions state-transition charge ($25 per million).
+  double usd_per_state_transition = 0.000025;
+
+  /// One-to-one platform scheduling overhead for dispatching `n` parallel
+  /// functions (Fig. 3). ASF: 150 ms for one dispatch, ~10 concurrent
+  /// slots, queueing beyond; OpenFaaS: local orchestrator, quadratic fan
+  /// -out cost fitted through (5,2) (25,70) (50,180) ms.
+  TimeMs asf_scheduling_ms(std::size_t n) const;
+  TimeMs openfaas_scheduling_ms(std::size_t n) const;
+
+  /// The default parameter set used across tests and benches.
+  static const RuntimeParams& defaults();
+};
+
+}  // namespace chiron

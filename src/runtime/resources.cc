@@ -1,0 +1,57 @@
+#include "runtime/resources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chiron {
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& other) {
+  memory_mb += other.memory_mb;
+  cpus += other.cpus;
+  sandboxes += other.sandboxes;
+  processes += other.processes;
+  threads += other.threads;
+  return *this;
+}
+
+MemMb sandbox_memory_mb(const RuntimeParams& params, std::size_t processes,
+                        std::size_t threads, std::size_t pool_workers,
+                        MemMb function_mb) {
+  MemMb mem = params.sandbox_base_mb + params.runtime_mb + function_mb;
+  if (processes > 1) {
+    mem += static_cast<MemMb>(processes - 1) * params.per_process_mb;
+  }
+  mem += static_cast<MemMb>(threads) * params.per_thread_mb;
+  mem += static_cast<MemMb>(pool_workers) * params.pool_worker_mb;
+  return mem;
+}
+
+double cost_per_request_usd(const RuntimeParams& params,
+                            const ResourceUsage& usage, TimeMs latency_ms,
+                            std::size_t state_transitions) {
+  if (latency_ms < 0.0) throw std::invalid_argument("negative latency");
+  const double seconds = latency_ms / 1000.0;
+  const double gb = usage.memory_mb / 1024.0;
+  const double ghz = usage.cpus * params.cpu_freq_ghz;
+  return gb * seconds * params.usd_per_gb_second +
+         ghz * seconds * params.usd_per_ghz_second +
+         static_cast<double>(state_transitions) *
+             params.usd_per_state_transition;
+}
+
+double node_throughput_rps(const RuntimeParams& params,
+                           const ResourceUsage& usage, TimeMs latency_ms) {
+  if (latency_ms <= 0.0) return 0.0;
+  if (usage.cpus <= 0.0 || usage.memory_mb <= 0.0) return 0.0;
+  // Fluid packing: requests pipeline through the node, so capacity is the
+  // binding resource divided by the per-request resource-time product.
+  // (A deployment larger than one node spans nodes; per-node throughput
+  // is the fractional share it gets.)
+  const double by_cpu = static_cast<double>(params.node_cpus) / usage.cpus;
+  const double by_mem = params.node_memory_mb / usage.memory_mb;
+  const double instances = std::min(by_cpu, by_mem);
+  return instances * (1000.0 / latency_ms);
+}
+
+}  // namespace chiron

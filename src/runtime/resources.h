@@ -1,0 +1,44 @@
+// Resource accounting: memory footprint, CPU allocation, dollar cost, and
+// the single-worker-node throughput model used by Fig. 8/16/17/19.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "runtime/params.h"
+
+namespace chiron {
+
+/// Resources a deployment holds while serving one in-flight request.
+struct ResourceUsage {
+  MemMb memory_mb = 0.0;
+  double cpus = 0.0;
+  std::size_t sandboxes = 0;
+  std::size_t processes = 0;
+  std::size_t threads = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other);
+};
+
+/// Memory of one sandbox hosting `processes` forked processes (>= 1 when
+/// anything runs), `threads` extra threads, `pool_workers` resident pool
+/// workers, and functions whose private working sets sum to `function_mb`.
+/// The language runtime is loaded once per sandbox — sharing it is where
+/// the many-to-one model's 85.5 % memory saving comes from (Obs. 4).
+MemMb sandbox_memory_mb(const RuntimeParams& params, std::size_t processes,
+                        std::size_t threads, std::size_t pool_workers,
+                        MemMb function_mb);
+
+/// Dollar cost of serving one request: GB-seconds + GHz-seconds + (for
+/// ASF-style platforms) per-state-transition charges (Fig. 19 method).
+double cost_per_request_usd(const RuntimeParams& params,
+                            const ResourceUsage& usage, TimeMs latency_ms,
+                            std::size_t state_transitions);
+
+/// Maximum sustainable requests/second on one worker node: pack as many
+/// deployment instances as node resources allow, each completing one
+/// request per `latency_ms` (Fig. 16 normalisation).
+double node_throughput_rps(const RuntimeParams& params,
+                           const ResourceUsage& usage, TimeMs latency_ms);
+
+}  // namespace chiron

@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace chiron {
+
+void EventQueue::schedule(TimeMs at, Callback cb) {
+  if (at < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(TimeMs delay, Callback cb) {
+  schedule(now_ + delay, std::move(cb));
+}
+
+TimeMs EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.at;
+    entry.cb();
+  }
+  return now_;
+}
+
+TimeMs EventQueue::run_until(TimeMs horizon) {
+  while (!heap_.empty() && heap_.top().at <= horizon) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.at;
+    entry.cb();
+  }
+  if (now_ < horizon) now_ = horizon;
+  return now_;
+}
+
+}  // namespace chiron

@@ -1,0 +1,59 @@
+// A minimal deterministic discrete-event engine: time-ordered callbacks
+// with FIFO tie-breaking. Used by the closed-loop throughput simulator and
+// available to examples for custom experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chiron {
+
+/// Discrete-event scheduler. Not thread-safe by design (simulations are
+/// deterministic single-threaded runs; parallelism comes from running many
+/// independent simulations, which benches do).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `at` (>= now()).
+  void schedule(TimeMs at, Callback cb);
+
+  /// Schedules `cb` at now() + delay.
+  void schedule_in(TimeMs delay, Callback cb);
+
+  /// Current simulated time.
+  TimeMs now() const { return now_; }
+
+  /// Number of pending events.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs events until the queue is empty. Returns final time.
+  TimeMs run();
+
+  /// Runs events with time <= horizon; leaves later events pending and
+  /// sets now() to min(horizon, last event time). Returns now().
+  TimeMs run_until(TimeMs horizon);
+
+ private:
+  struct Entry {
+    TimeMs at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace chiron

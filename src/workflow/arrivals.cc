@@ -1,0 +1,48 @@
+#include "workflow/arrivals.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chiron {
+
+ArrivalGenerator::ArrivalGenerator(ArrivalKind kind, double rate_rps, Rng rng)
+    : kind_(kind), rate_rps_(rate_rps), rng_(rng) {
+  if (rate_rps <= 0.0) throw std::invalid_argument("rate must be positive");
+}
+
+std::vector<TimeMs> ArrivalGenerator::generate(TimeMs horizon_ms) {
+  std::vector<TimeMs> arrivals;
+  const TimeMs mean_gap = 1000.0 / rate_rps_;
+  switch (kind_) {
+    case ArrivalKind::kPoisson: {
+      TimeMs t = rng_.exponential(mean_gap);
+      while (t < horizon_ms) {
+        arrivals.push_back(t);
+        t += rng_.exponential(mean_gap);
+      }
+      break;
+    }
+    case ArrivalKind::kUniform: {
+      for (TimeMs t = mean_gap; t < horizon_ms; t += mean_gap) {
+        arrivals.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kBurst: {
+      // Bursts of 10 back-to-back requests separated so the mean rate holds.
+      const int burst = 10;
+      const TimeMs burst_gap = mean_gap * burst;
+      for (TimeMs t0 = burst_gap * rng_.uniform(); t0 < horizon_ms;
+           t0 += burst_gap) {
+        for (int i = 0; i < burst && t0 + i * 0.1 < horizon_ms; ++i) {
+          arrivals.push_back(t0 + i * 0.1);
+        }
+      }
+      break;
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace chiron

@@ -1,0 +1,129 @@
+#include "workflow/benchmarks.h"
+
+#include "common/rng.h"
+
+namespace chiron {
+namespace {
+
+FunctionSpec fn(std::string name, FunctionBehavior behavior, MemMb mem,
+                Bytes out) {
+  FunctionSpec spec;
+  spec.name = std::move(name);
+  spec.behavior = std::move(behavior);
+  spec.memory_mb = mem;
+  spec.output_bytes = out;
+  return spec;
+}
+
+}  // namespace
+
+Workflow make_social_network() {
+  std::vector<FunctionSpec> fns;
+  // Stage 0: compose the post.
+  fns.push_back(fn("compose_post", network_io_bound(1.0, 2.0), 3.0, 4_KB));
+  // Stage 1: five parallel enrichment functions.
+  fns.push_back(fn("unique_id", cpu_bound(0.4), 1.0, 64));
+  fns.push_back(fn("text_filter", cpu_bound(1.5), 2.0, 2_KB));
+  fns.push_back(fn("media_process", disk_io_bound(2.0, 2.0, 2), 4.0, 64_KB));
+  fns.push_back(fn("user_mention", network_io_bound(0.8, 1.5), 2.0, 1_KB));
+  fns.push_back(fn("url_shorten", cpu_bound(1.2), 1.5, 512));
+  // Stage 2: three parallel fan-out writes.
+  fns.push_back(fn("home_timeline", network_io_bound(1.0, 3.0), 2.5, 2_KB));
+  fns.push_back(fn("user_timeline", network_io_bound(1.0, 2.5), 2.5, 2_KB));
+  fns.push_back(fn("post_storage", disk_io_bound(0.8, 4.0, 2), 3.0, 8_KB));
+  // Stage 3: respond to the client.
+  fns.push_back(fn("respond", cpu_bound(0.6), 1.0, 1_KB));
+
+  std::vector<Stage> stages{{{0}}, {{1, 2, 3, 4, 5}}, {{6, 7, 8}}, {{9}}};
+  return Workflow("SocialNetwork", std::move(fns), std::move(stages));
+}
+
+Workflow make_movie_reviewing() {
+  std::vector<FunctionSpec> fns;
+  fns.push_back(fn("upload_review", network_io_bound(0.8, 1.5), 2.5, 4_KB));
+  fns.push_back(fn("rate_movie", cpu_bound(1.2), 1.5, 256));
+  fns.push_back(fn("review_text", cpu_bound(1.5), 2.0, 2_KB));
+  fns.push_back(fn("user_lookup", network_io_bound(0.7, 1.2), 2.0, 512));
+  fns.push_back(fn("movie_id", network_io_bound(0.9, 1.0), 2.0, 256));
+  fns.push_back(fn("store_review", disk_io_bound(0.6, 3.5, 2), 3.0, 4_KB));
+  fns.push_back(fn("update_rating", cpu_bound(1.0), 1.5, 256));
+  fns.push_back(fn("update_user", network_io_bound(0.8, 2.0), 2.0, 512));
+  fns.push_back(fn("page_compose", cpu_bound(1.0), 1.5, 8_KB));
+
+  std::vector<Stage> stages{{{0}}, {{1, 2, 3, 4}}, {{5, 6, 7}}, {{8}}};
+  return Workflow("MovieReviewing", std::move(fns), std::move(stages));
+}
+
+Workflow make_slapp() {
+  // Two purely-parallel stages; the four behaviour classes have similar
+  // solo latency (~25 ms) but very different CPU/block mixes (§2.2).
+  std::vector<FunctionSpec> fns;
+  fns.push_back(fn("factorial", cpu_bound(24.0), 2.0, 128));
+  fns.push_back(fn("fibonacci", cpu_bound(25.0), 2.0, 128));
+  fns.push_back(fn("disk_io", disk_io_bound(6.0, 18.0, 3), 4.0, 32_KB));
+  fns.push_back(fn("network_io", network_io_bound(2.0, 23.0), 2.0, 8_KB));
+  fns.push_back(fn("factorial_2", cpu_bound(23.0), 2.0, 128));
+  fns.push_back(fn("disk_io_2", disk_io_bound(5.0, 19.0, 3), 4.0, 32_KB));
+  fns.push_back(fn("network_io_2", network_io_bound(2.0, 22.0), 2.0, 8_KB));
+
+  std::vector<Stage> stages{{{0, 1, 2, 3}}, {{4, 5, 6}}};
+  return Workflow("SLApp", std::move(fns), std::move(stages));
+}
+
+Workflow make_slapp_v() {
+  std::vector<FunctionSpec> fns;
+  fns.push_back(fn("ingest", network_io_bound(3.0, 12.0), 3.0, 64_KB));
+  fns.push_back(fn("cpu_a", cpu_bound(25.0), 2.0, 1_KB));
+  fns.push_back(fn("cpu_b", cpu_bound(28.0), 2.0, 1_KB));
+  fns.push_back(fn("disk_a", disk_io_bound(7.0, 20.0, 3), 4.0, 16_KB));
+  fns.push_back(fn("net_a", network_io_bound(3.0, 24.0), 2.0, 8_KB));
+  fns.push_back(fn("cpu_c", cpu_bound(22.0), 2.0, 1_KB));
+  fns.push_back(fn("aggregate", network_io_bound(4.0, 8.0), 3.0, 16_KB));
+  fns.push_back(fn("disk_b", disk_io_bound(5.0, 16.0, 2), 4.0, 16_KB));
+  fns.push_back(fn("net_b", network_io_bound(2.0, 20.0), 2.0, 8_KB));
+  fns.push_back(fn("respond", cpu_bound(3.0), 1.5, 4_KB));
+
+  std::vector<Stage> stages{
+      {{0}}, {{1, 2, 3, 4, 5}}, {{6}}, {{7, 8}}, {{9}}};
+  return Workflow("SLApp-V", std::move(fns), std::move(stages));
+}
+
+Workflow make_finra(std::size_t parallel_rules) {
+  std::vector<FunctionSpec> fns;
+  // Stage 0: fetch portfolio + market data from remote services.
+  fns.push_back(fn("fetch_portfolio", network_io_bound(2.5, 58.0), 6.0, 256_KB));
+  fns.push_back(fn("fetch_market", network_io_bound(3.0, 55.0), 6.0, 512_KB));
+  // Stage 1: n CPU-bound audit rules, 2-4 ms each (deterministically
+  // varied) — the scale the paper's evaluation latencies imply.
+  Rng rng(0xF1A7A + parallel_rules);
+  Stage rules;
+  for (std::size_t i = 0; i < parallel_rules; ++i) {
+    const TimeMs cpu = 2.0 + 2.0 * rng.uniform();
+    fns.push_back(fn("rule_" + std::to_string(i), cpu_bound(cpu), 1.5, 128));
+    rules.functions.push_back(static_cast<FunctionId>(2 + i));
+  }
+  std::vector<Stage> stages{{{0, 1}}, std::move(rules)};
+  return Workflow("FINRA-" + std::to_string(parallel_rules), std::move(fns),
+                  std::move(stages));
+}
+
+Workflow as_java(const Workflow& wf) {
+  std::vector<FunctionSpec> fns = wf.functions();
+  for (FunctionSpec& f : fns) {
+    f.runtime = Runtime::kJava;
+    f.runtime_tag = "java17";
+  }
+  return Workflow(wf.name() + "-java", std::move(fns), wf.stages());
+}
+
+std::vector<Workflow> evaluation_suite() {
+  std::vector<Workflow> suite;
+  suite.push_back(make_social_network());
+  suite.push_back(make_movie_reviewing());
+  suite.push_back(make_slapp());
+  suite.push_back(make_slapp_v());
+  for (std::size_t n : {5, 50, 100, 200}) suite.push_back(make_finra(n));
+  return suite;
+}
+
+}  // namespace chiron

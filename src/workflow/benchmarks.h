@@ -1,0 +1,44 @@
+// The five applications the paper evaluates (§6, "Testbed and
+// Benchmarks"). Behaviours are synthetic but stage structure, function
+// counts, parallelism degrees, and latency scales match the paper:
+//
+//   Social Network (SN):   4 stages, 10 functions, max parallelism 5
+//   Movie Reviewing (MR):  4 stages,  9 functions, max parallelism 4
+//   SLApp:                 2 stages,  7 functions, max parallelism 4,
+//                          no sequential stage, three workload types
+//   SLApp-V:               5 stages, 10 functions, max parallelism 5
+//   FINRA-n:               2 stages, 2 fetch functions + n rule validators
+#pragma once
+
+#include <cstddef>
+
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// DeathStarBench-style social network post pipeline.
+Workflow make_social_network();
+
+/// DeathStarBench-style movie reviewing pipeline.
+Workflow make_movie_reviewing();
+
+/// SLApp: two all-parallel stages mixing CPU / disk-IO / network-IO
+/// functions of similar solo latency.
+Workflow make_slapp();
+
+/// SLApp-V: the five-stage variant with ten functions.
+Workflow make_slapp_v();
+
+/// FINRA trade validation with `parallel_rules` audit-rule functions in
+/// the second stage (the paper uses 5, 25, 50, 100, 200).
+Workflow make_finra(std::size_t parallel_rules);
+
+/// Same workflow shapes re-targeted at the Java runtime (true-parallel
+/// threads), used by the Fig. 18 "No GIL" experiment.
+Workflow as_java(const Workflow& wf);
+
+/// All eight evaluation workflows in the order the paper's figures list
+/// them: SN, MR, SLApp, SLApp-V, FINRA-5, FINRA-50, FINRA-100, FINRA-200.
+std::vector<Workflow> evaluation_suite();
+
+}  // namespace chiron

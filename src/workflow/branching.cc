@@ -1,0 +1,113 @@
+#include "workflow/branching.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace chiron {
+
+BranchingWorkflow::BranchingWorkflow(std::string name,
+                                     std::vector<FunctionSpec> functions,
+                                     std::vector<Stage> prefix,
+                                     std::vector<Branch> branches,
+                                     std::vector<Stage> suffix)
+    : name_(std::move(name)),
+      functions_(std::move(functions)),
+      prefix_(std::move(prefix)),
+      branches_(std::move(branches)),
+      suffix_(std::move(suffix)) {
+  validate();
+}
+
+Workflow BranchingWorkflow::resolve(std::size_t i) const {
+  const Branch& branch = branches_.at(i);
+  std::vector<Stage> stages = prefix_;
+  stages.insert(stages.end(), branch.stages.begin(), branch.stages.end());
+  stages.insert(stages.end(), suffix_.begin(), suffix_.end());
+
+  // Compact the function table to the functions this variant uses.
+  std::map<FunctionId, FunctionId> remap;
+  std::vector<FunctionSpec> used;
+  for (Stage& stage : stages) {
+    for (FunctionId& f : stage.functions) {
+      auto [it, inserted] =
+          remap.emplace(f, static_cast<FunctionId>(used.size()));
+      if (inserted) used.push_back(functions_.at(f));
+      f = it->second;
+    }
+  }
+  return Workflow(name_ + "/" + branch.name, std::move(used),
+                  std::move(stages));
+}
+
+double BranchingWorkflow::expected(const std::vector<double>& per_branch) const {
+  if (per_branch.size() != branches_.size()) {
+    throw std::invalid_argument("expected() needs one value per branch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    total += branches_[i].probability * per_branch[i];
+  }
+  return total;
+}
+
+void BranchingWorkflow::validate() const {
+  if (branches_.empty()) {
+    throw std::invalid_argument("a branching workflow needs branches");
+  }
+  double total_p = 0.0;
+  for (const Branch& b : branches_) {
+    if (b.probability < 0.0 || b.probability > 1.0) {
+      throw std::invalid_argument("branch probability out of [0,1]");
+    }
+    total_p += b.probability;
+  }
+  if (std::abs(total_p - 1.0) > 1e-6) {
+    throw std::invalid_argument("branch probabilities must sum to 1");
+  }
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    resolve(i).validate();  // Workflow construction validates too
+  }
+}
+
+BranchingWorkflow make_video_ffmpeg(double split_probability) {
+  std::vector<FunctionSpec> fns;
+  auto add = [&](const std::string& name, FunctionBehavior b, MemMb mem,
+                 Bytes out) {
+    FunctionSpec fs;
+    fs.name = name;
+    fs.behavior = std::move(b);
+    fs.memory_mb = mem;
+    fs.output_bytes = out;
+    fns.push_back(std::move(fs));
+    return static_cast<FunctionId>(fns.size() - 1);
+  };
+  const FunctionId upload = add("upload", network_io_bound(3.0, 15.0), 6.0, 8_MB);
+  const FunctionId probe = add("probe", cpu_bound(2.0), 3.0, 2_KB);
+  const FunctionId split = add("split", disk_io_bound(8.0, 12.0, 3), 8.0, 8_MB);
+  const FunctionId enc0 = add("encode_0", cpu_bound(22.0), 10.0, 2_MB);
+  const FunctionId enc1 = add("encode_1", cpu_bound(24.0), 10.0, 2_MB);
+  const FunctionId enc2 = add("encode_2", cpu_bound(21.0), 10.0, 2_MB);
+  const FunctionId enc3 = add("encode_3", cpu_bound(23.0), 10.0, 2_MB);
+  const FunctionId merge = add("merge", disk_io_bound(5.0, 8.0, 2), 8.0, 8_MB);
+  const FunctionId simple =
+      add("simple_process", disk_io_bound(18.0, 6.0, 2), 8.0, 8_MB);
+  const FunctionId respond = add("respond", cpu_bound(1.0), 2.0, 4_KB);
+
+  std::vector<Stage> prefix{{{upload}}, {{probe}}};
+  Branch split_branch;
+  split_branch.name = "split";
+  split_branch.probability = split_probability;
+  split_branch.stages = {{{split}}, {{enc0, enc1, enc2, enc3}}, {{merge}}};
+  Branch simple_branch;
+  simple_branch.name = "simple";
+  simple_branch.probability = 1.0 - split_probability;
+  simple_branch.stages = {{{simple}}};
+  std::vector<Stage> suffix{{{respond}}};
+
+  return BranchingWorkflow("video-ffmpeg", std::move(fns), std::move(prefix),
+                           {std::move(split_branch), std::move(simple_branch)},
+                           std::move(suffix));
+}
+
+}  // namespace chiron

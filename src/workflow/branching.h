@@ -1,0 +1,67 @@
+// Dynamic DAGs (paper §7, "Application scenario (2)"): workflows whose
+// function chain is not known a priori — a switch step selects one of
+// several continuations at runtime, like Video-FFmpeg's upload step
+// choosing between `split` and `simple_process`.
+//
+// A BranchingWorkflow is a shared prefix, a set of alternative branches
+// (with profiled selection probabilities), and a shared suffix. Chiron
+// handles it by resolving each branch into a concrete stage-structured
+// Workflow, planning every variant, and sizing against the worst case
+// while reporting the probability-weighted expectation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// One runtime-selectable continuation.
+struct Branch {
+  std::string name;
+  /// Profiled probability that the switch takes this branch.
+  double probability = 0.0;
+  /// The branch's stages (function ids into the shared function table).
+  std::vector<Stage> stages;
+};
+
+/// A workflow with one switch point.
+class BranchingWorkflow {
+ public:
+  BranchingWorkflow(std::string name, std::vector<FunctionSpec> functions,
+                    std::vector<Stage> prefix, std::vector<Branch> branches,
+                    std::vector<Stage> suffix);
+
+  const std::string& name() const { return name_; }
+  std::size_t branch_count() const { return branches_.size(); }
+  const Branch& branch(std::size_t i) const { return branches_.at(i); }
+  const std::vector<FunctionSpec>& functions() const { return functions_; }
+
+  /// Resolves branch `i` into a concrete Workflow: prefix stages, the
+  /// branch's stages, then suffix stages. Functions not reachable on this
+  /// branch are dropped and ids remapped; the returned workflow validates.
+  Workflow resolve(std::size_t i) const;
+
+  /// Probability-weighted expectation of per-branch values (latency,
+  /// cost, ...). `per_branch.size()` must equal branch_count().
+  double expected(const std::vector<double>& per_branch) const;
+
+  /// Validates: probabilities in [0,1] summing to ~1, at least one
+  /// branch, every resolved variant structurally valid.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<FunctionSpec> functions_;
+  std::vector<Stage> prefix_;
+  std::vector<Branch> branches_;
+  std::vector<Stage> suffix_;
+};
+
+/// The paper's §7 example: a Video-FFmpeg pipeline whose upload result
+/// decides between a parallel split/encode/merge path (probability
+/// `split_probability`) and a single-function simple_process path.
+BranchingWorkflow make_video_ffmpeg(double split_probability = 0.35);
+
+}  // namespace chiron

@@ -1,0 +1,148 @@
+#include "workflow/definition.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace chiron {
+namespace {
+
+Runtime parse_runtime(const std::string& name) {
+  if (name == "python3") return Runtime::kPython3;
+  if (name == "nodejs") return Runtime::kNodeJs;
+  if (name == "java") return Runtime::kJava;
+  throw std::invalid_argument("unknown runtime '" + name + "'");
+}
+
+FunctionBehavior behavior_from_spec(const json::Value& spec,
+                                    const std::string& name) {
+  if (spec.contains("segments")) {
+    std::vector<TimeMs> durations;
+    for (const json::Value& d : spec.at("segments").as_array()) {
+      durations.push_back(d.as_number());
+    }
+    return alternating(durations);
+  }
+  const std::string kind = spec.string_or("kind", "cpu");
+  const TimeMs cpu = spec.number_or("cpu_ms", 1.0);
+  const TimeMs block = spec.number_or("block_ms", 0.0);
+  if (kind == "cpu") {
+    if (block > 0.0) {
+      throw std::invalid_argument("function '" + name +
+                                  "': kind 'cpu' cannot have block_ms");
+    }
+    return cpu_bound(cpu);
+  }
+  if (kind == "network") return network_io_bound(cpu, block);
+  if (kind == "disk") {
+    const int blocks =
+        static_cast<int>(spec.number_or("blocks", 2.0));
+    return disk_io_bound(cpu, block, blocks);
+  }
+  throw std::invalid_argument("function '" + name + "': unknown kind '" +
+                              kind + "'");
+}
+
+}  // namespace
+
+WorkflowDefinition parse_workflow_definition(const std::string& json_text) {
+  const json::Value doc = json::parse(json_text);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("definition must be a JSON object");
+  }
+  const std::string name = doc.string_or("name", "workflow");
+  const Runtime runtime = parse_runtime(doc.string_or("runtime", "python3"));
+
+  // Functions, in the (sorted) order the JSON object provides; stage
+  // references resolve by name.
+  std::vector<FunctionSpec> functions;
+  std::map<std::string, FunctionId> ids;
+  for (const auto& [fn_name, spec] : doc.at("functions").as_object()) {
+    FunctionSpec fs;
+    fs.name = fn_name;
+    fs.behavior = behavior_from_spec(spec, fn_name);
+    fs.runtime = runtime;
+    fs.memory_mb = spec.number_or("memory_mb", 8.0);
+    fs.output_bytes =
+        static_cast<Bytes>(spec.number_or("output_kb", 1.0) * 1024.0);
+    if (spec.contains("files")) {
+      for (const json::Value& f : spec.at("files").as_array()) {
+        fs.files_written.push_back(f.as_string());
+      }
+    }
+    fs.runtime_tag = spec.string_or(
+        "tag", runtime == Runtime::kJava ? "java17" : "py3.11");
+    ids.emplace(fn_name, static_cast<FunctionId>(functions.size()));
+    functions.push_back(std::move(fs));
+  }
+
+  std::vector<Stage> stages;
+  for (const json::Value& stage_value : doc.at("stages").as_array()) {
+    Stage stage;
+    for (const json::Value& fn : stage_value.as_array()) {
+      const auto it = ids.find(fn.as_string());
+      if (it == ids.end()) {
+        throw std::invalid_argument("stage references unknown function '" +
+                                    fn.as_string() + "'");
+      }
+      stage.functions.push_back(it->second);
+    }
+    stages.push_back(std::move(stage));
+  }
+
+  WorkflowDefinition def;
+  def.workflow = Workflow(name, std::move(functions), std::move(stages));
+  def.slo_ms = doc.number_or("slo_ms", 0.0);
+  return def;
+}
+
+std::string serialize_workflow_definition(const Workflow& wf, TimeMs slo_ms) {
+  json::Object root;
+  root.emplace("name", json::Value(wf.name()));
+  if (slo_ms > 0.0) root.emplace("slo_ms", json::Value(slo_ms));
+  if (wf.function_count() > 0) {
+    root.emplace("runtime", json::Value(to_string(wf.function(0).runtime)));
+  }
+
+  json::Array stages;
+  for (const Stage& stage : wf.stages()) {
+    json::Array names;
+    for (FunctionId f : stage.functions) {
+      names.push_back(json::Value(wf.function(f).name));
+    }
+    stages.push_back(json::Value(std::move(names)));
+  }
+  root.emplace("stages", json::Value(std::move(stages)));
+
+  json::Object functions;
+  for (const FunctionSpec& fs : wf.functions()) {
+    json::Object spec;
+    json::Array segments;
+    for (const Segment& s : fs.behavior.segments()) {
+      // The alternating() builder expects cpu,block,cpu,...: emit an
+      // explicit leading 0 when the behaviour starts with a block.
+      if (segments.empty() && s.kind == Segment::Kind::kBlock) {
+        segments.push_back(json::Value(0.0));
+      }
+      segments.push_back(json::Value(s.duration));
+    }
+    spec.emplace("segments", json::Value(std::move(segments)));
+    spec.emplace("memory_mb", json::Value(fs.memory_mb));
+    spec.emplace("output_kb",
+                 json::Value(static_cast<double>(fs.output_bytes) / 1024.0));
+    if (!fs.files_written.empty()) {
+      json::Array files;
+      for (const std::string& f : fs.files_written) {
+        files.push_back(json::Value(f));
+      }
+      spec.emplace("files", json::Value(std::move(files)));
+    }
+    spec.emplace("tag", json::Value(fs.runtime_tag));
+    functions.emplace(fs.name, json::Value(std::move(spec)));
+  }
+  root.emplace("functions", json::Value(std::move(functions)));
+  return json::dump(json::Value(std::move(root)));
+}
+
+}  // namespace chiron

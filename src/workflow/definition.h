@@ -1,0 +1,44 @@
+// Workflow definition files: the artifact a user submits to Chiron
+// (Fig. 9 step 1: "the submission of the workflow definition (e.g., DAG,
+// state machine) and latency requirement"). JSON format:
+//
+//   {
+//     "name": "my-app",
+//     "slo_ms": 60,
+//     "runtime": "python3",          // optional: python3|nodejs|java
+//     "stages": [ ["ingest"], ["worker_a", "worker_b"], ["merge"] ],
+//     "functions": {
+//       "ingest":   { "kind": "network", "cpu_ms": 2, "block_ms": 12 },
+//       "worker_a": { "kind": "cpu", "cpu_ms": 8 },
+//       "worker_b": { "kind": "disk", "cpu_ms": 4, "block_ms": 10,
+//                     "blocks": 2, "memory_mb": 6, "output_kb": 16,
+//                     "files": ["out.txt"], "tag": "py3.11" },
+//       "merge":    { "segments": [1.5, 3.0, 0.5] }   // cpu,block,cpu,...
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// A parsed submission.
+struct WorkflowDefinition {
+  Workflow workflow;
+  TimeMs slo_ms = 0.0;  ///< 0 when the file does not specify one
+};
+
+/// Parses a JSON workflow definition. Throws std::invalid_argument with a
+/// descriptive message on structural or semantic errors (unknown function
+/// names, unknown kinds, empty stages...).
+WorkflowDefinition parse_workflow_definition(const std::string& json_text);
+
+/// Serialises a workflow (plus optional SLO) back to the definition
+/// format; parse(serialize(wf)) reconstructs an equivalent workflow.
+std::string serialize_workflow_definition(const Workflow& wf,
+                                          TimeMs slo_ms = 0.0);
+
+}  // namespace chiron

@@ -1,0 +1,68 @@
+#include "workflow/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chiron {
+
+Workflow make_synthetic_workflow(const SyntheticSpec& spec, Rng& rng,
+                                 const std::string& name) {
+  if (spec.min_stages == 0 || spec.max_stages < spec.min_stages ||
+      spec.min_parallelism == 0 ||
+      spec.max_parallelism < spec.min_parallelism ||
+      spec.max_latency_ms < spec.min_latency_ms) {
+    throw std::invalid_argument("invalid synthetic spec");
+  }
+  const double total_weight =
+      spec.cpu_weight + spec.network_weight + spec.disk_weight;
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("behaviour weights must be positive");
+  }
+
+  const std::size_t stages =
+      spec.min_stages + rng.below(spec.max_stages - spec.min_stages + 1);
+  std::vector<FunctionSpec> functions;
+  std::vector<Stage> stage_list;
+
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t parallelism =
+        spec.min_parallelism +
+        rng.below(spec.max_parallelism - spec.min_parallelism + 1);
+    Stage stage;
+    for (std::size_t p = 0; p < parallelism; ++p) {
+      FunctionSpec fs;
+      fs.name = "s" + std::to_string(s) + "_f" + std::to_string(p);
+      const TimeMs latency =
+          rng.uniform(spec.min_latency_ms, spec.max_latency_ms);
+      const double kind_draw = rng.uniform(0.0, total_weight);
+      if (kind_draw < spec.cpu_weight) {
+        fs.behavior = cpu_bound(latency);
+      } else if (kind_draw < spec.cpu_weight + spec.network_weight) {
+        const double cpu_share = rng.uniform(0.05, 0.3);
+        fs.behavior = network_io_bound(latency * cpu_share,
+                                       latency * (1.0 - cpu_share));
+      } else {
+        const double cpu_share = rng.uniform(0.15, 0.5);
+        const int blocks = 1 + static_cast<int>(rng.below(4));
+        fs.behavior = disk_io_bound(latency * cpu_share,
+                                    latency * (1.0 - cpu_share), blocks);
+      }
+      fs.memory_mb = rng.uniform(1.0, 12.0);
+      fs.output_bytes = static_cast<Bytes>(rng.uniform(128.0, 64.0 * 1024.0));
+      if (rng.uniform() < spec.file_writer_probability) {
+        // Half the writers share one contended file, the rest are unique.
+        fs.files_written.push_back(
+            rng.uniform() < 0.5 ? "shared.dat" : fs.name + ".dat");
+      }
+      if (rng.uniform() < spec.conflict_tag_probability) {
+        fs.runtime_tag = "py2.7";
+      }
+      stage.functions.push_back(static_cast<FunctionId>(functions.size()));
+      functions.push_back(std::move(fs));
+    }
+    stage_list.push_back(std::move(stage));
+  }
+  return Workflow(name, std::move(functions), std::move(stage_list));
+}
+
+}  // namespace chiron

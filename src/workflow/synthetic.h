@@ -1,0 +1,35 @@
+// Seeded random workflow generation: arbitrary stage structures and
+// behaviour mixes for property tests and stress sweeps of the scheduler
+// (PGP must produce valid, SLO-respecting plans for *any* workflow, not
+// just the five paper benchmarks).
+#pragma once
+
+#include "common/rng.h"
+#include "workflow/workflow.h"
+
+namespace chiron {
+
+/// Shape of the random workflows to draw.
+struct SyntheticSpec {
+  std::size_t min_stages = 2;
+  std::size_t max_stages = 6;
+  std::size_t min_parallelism = 1;
+  std::size_t max_parallelism = 12;
+  /// Per-function solo-latency range (uniform).
+  TimeMs min_latency_ms = 0.5;
+  TimeMs max_latency_ms = 40.0;
+  /// Probability mix of behaviour kinds (normalised internally).
+  double cpu_weight = 0.45;
+  double network_weight = 0.30;
+  double disk_weight = 0.25;
+  /// Probability a function writes a (possibly shared) file.
+  double file_writer_probability = 0.0;
+  /// Probability a function carries an off-majority runtime tag.
+  double conflict_tag_probability = 0.0;
+};
+
+/// Draws one random workflow. Deterministic per (spec, rng state).
+Workflow make_synthetic_workflow(const SyntheticSpec& spec, Rng& rng,
+                                 const std::string& name = "synthetic");
+
+}  // namespace chiron

@@ -1,0 +1,76 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace chiron {
+
+Workflow::Workflow(std::string name, std::vector<FunctionSpec> functions,
+                   std::vector<Stage> stages)
+    : name_(std::move(name)),
+      functions_(std::move(functions)),
+      stages_(std::move(stages)) {
+  validate();
+}
+
+std::size_t Workflow::max_parallelism() const {
+  std::size_t best = 0;
+  for (const Stage& s : stages_) best = std::max(best, s.parallelism());
+  return best;
+}
+
+StageId Workflow::stage_of(FunctionId id) const {
+  for (StageId s = 0; s < stages_.size(); ++s) {
+    const auto& fns = stages_[s].functions;
+    if (std::find(fns.begin(), fns.end(), id) != fns.end()) return s;
+  }
+  throw std::out_of_range("function id " + std::to_string(id) +
+                          " is not in any stage");
+}
+
+TimeMs Workflow::total_solo_latency() const {
+  TimeMs total = 0.0;
+  for (const FunctionSpec& f : functions_) total += f.behavior.solo_latency();
+  return total;
+}
+
+TimeMs Workflow::ideal_latency() const {
+  TimeMs total = 0.0;
+  for (const Stage& s : stages_) {
+    TimeMs slowest = 0.0;
+    for (FunctionId id : s.functions) {
+      slowest = std::max(slowest, functions_.at(id).behavior.solo_latency());
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+void Workflow::validate() const {
+  if (stages_.empty()) throw std::invalid_argument("workflow has no stages");
+  std::vector<int> seen(functions_.size(), 0);
+  for (const Stage& s : stages_) {
+    if (s.functions.empty()) {
+      throw std::invalid_argument("workflow '" + name_ + "' has an empty stage");
+    }
+    for (FunctionId id : s.functions) {
+      if (id >= functions_.size()) {
+        throw std::invalid_argument("stage references unknown function id " +
+                                    std::to_string(id));
+      }
+      if (++seen[id] > 1) {
+        throw std::invalid_argument("function id " + std::to_string(id) +
+                                    " appears in more than one stage");
+      }
+    }
+  }
+  for (std::size_t id = 0; id < seen.size(); ++id) {
+    if (seen[id] == 0) {
+      throw std::invalid_argument("function id " + std::to_string(id) +
+                                  " is not assigned to any stage");
+    }
+  }
+}
+
+}  // namespace chiron

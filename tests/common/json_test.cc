@@ -1,0 +1,88 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(JsonTest, HandlesEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[]").as_array().empty());
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  const Value v = parse("  {\n  \"k\" :\t[ 1 ,2 ]\n}  ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("{"), std::invalid_argument);
+  EXPECT_THROW(parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(parse("tru"), std::invalid_argument);
+  EXPECT_THROW(parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse("{'single':1}"), std::invalid_argument);
+}
+
+TEST(JsonTest, TypeMismatchesThrow) {
+  const Value v = parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), std::invalid_argument);
+  EXPECT_THROW(v.at("a").as_string(), std::invalid_argument);
+  EXPECT_THROW(v.at("missing"), std::invalid_argument);
+}
+
+TEST(JsonTest, DefaultedAccessors) {
+  const Value v = parse("{\"x\": 5, \"s\": \"v\"}");
+  EXPECT_DOUBLE_EQ(v.number_or("x", 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(v.number_or("y", 7.0), 7.0);
+  EXPECT_EQ(v.string_or("s", "d"), "v");
+  EXPECT_EQ(v.string_or("t", "d"), "d");
+  EXPECT_TRUE(v.contains("x"));
+  EXPECT_FALSE(v.contains("y"));
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text =
+      R"({"arr":[1,2.5,true,null],"num":-3,"obj":{"s":"a\"b"}})";
+  const Value v = parse(text);
+  const Value again = parse(dump(v));
+  EXPECT_DOUBLE_EQ(again.at("arr").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(again.at("arr").as_array()[3].is_null());
+  EXPECT_EQ(again.at("obj").at("s").as_string(), "a\"b");
+  EXPECT_DOUBLE_EQ(again.at("num").as_number(), -3.0);
+}
+
+TEST(JsonTest, DumpFormatsIntegersCleanly) {
+  Object o;
+  o.emplace("n", Value(60.0));
+  EXPECT_EQ(dump(Value(std::move(o))), "{\"n\":60}");
+}
+
+}  // namespace
+}  // namespace chiron::json

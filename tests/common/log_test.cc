@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  LogLevelGuard guard;
+  // The library default must keep tests quiet.
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(LogTest, SetAndGetRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(level));
+  }
+}
+
+TEST(LogTest, StreamComposesWithoutCrashing) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // discard everything below
+  // Messages below the threshold must not be formatted expensively or
+  // crash; above-threshold messages go to stderr (not captured here).
+  CHIRON_LOG(kDebug) << "value " << 42 << " pi " << 3.14;
+  CHIRON_LOG(kInfo) << "workflow " << std::string("x");
+  CHIRON_LOG(kError) << "error path exercised";
+  SUCCEED();
+}
+
+TEST(LogTest, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,84 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"system", "latency"});
+  t.row().add("Chiron").add(12.345, 1);
+  t.row().add("OpenFaaS").add(99.9, 1);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("Chiron"), std::string::npos);
+  EXPECT_NE(out.find("12.3"), std::string::npos);
+  EXPECT_NE(out.find("99.9"), std::string::npos);
+}
+
+TEST(TableTest, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().add("x");
+  t.row().add("y");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, AddWithoutRowStartsOne) {
+  Table t({"a", "b"});
+  t.add("1").add("2");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, FormatsUnits) {
+  Table t({"v"});
+  t.row().add_unit(3.25, "ms", 1);
+  EXPECT_NE(t.to_string().find("3.2 ms"), std::string::npos);
+}
+
+TEST(TableTest, FormatsIntegers) {
+  Table t({"v"});
+  t.row().add_int(-42);
+  EXPECT_NE(t.to_string().find("-42"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumnsToWidestCell) {
+  Table t({"x"});
+  t.row().add("short");
+  t.row().add("a-very-long-cell-value");
+  const std::string out = t.to_string();
+  // Every line has the same length when properly padded.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, CsvExportQuotesSpecialCells) {
+  Table t({"name", "value"});
+  t.row().add("plain").add("1.0");
+  t.row().add("with,comma").add("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,1.0\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, CsvHeaderOnlyWhenEmpty) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.to_csv(), "a,b\n");
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,44 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+TEST(TypesTest, ByteLiterals) {
+  EXPECT_EQ(1_KB, 1024u);
+  EXPECT_EQ(1_MB, 1024u * 1024u);
+  EXPECT_EQ(1_GB, 1024ull * 1024u * 1024u);
+  EXPECT_EQ(3_KB, 3072u);
+}
+
+TEST(TypesTest, RuntimeNames) {
+  EXPECT_EQ(to_string(Runtime::kPython3), "python3");
+  EXPECT_EQ(to_string(Runtime::kNodeJs), "nodejs");
+  EXPECT_EQ(to_string(Runtime::kJava), "java");
+}
+
+TEST(TypesTest, GilPresence) {
+  EXPECT_TRUE(has_gil(Runtime::kPython3));
+  EXPECT_TRUE(has_gil(Runtime::kNodeJs));
+  EXPECT_FALSE(has_gil(Runtime::kJava));
+}
+
+TEST(TypesTest, ExecModeNames) {
+  EXPECT_EQ(to_string(ExecMode::kProcess), "process");
+  EXPECT_EQ(to_string(ExecMode::kThread), "thread");
+}
+
+TEST(TypesTest, IsolationModeNames) {
+  EXPECT_EQ(to_string(IsolationMode::kNative), "native");
+  EXPECT_EQ(to_string(IsolationMode::kMpk), "mpk");
+  EXPECT_EQ(to_string(IsolationMode::kSfi), "sfi");
+  EXPECT_EQ(to_string(IsolationMode::kPool), "pool");
+}
+
+TEST(TypesTest, InfiniteTimeIsLargerThanAnyLatency) {
+  EXPECT_GT(kInfiniteTime, 1e12);
+}
+
+}  // namespace
+}  // namespace chiron

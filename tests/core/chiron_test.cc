@@ -1,0 +1,92 @@
+#include "core/chiron.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+TEST(ChironTest, RejectsNonPositiveSlo) {
+  Chiron manager(ChironConfig{});
+  EXPECT_THROW(manager.deploy(make_finra(5), 0.0), std::invalid_argument);
+}
+
+TEST(ChironTest, DeploymentIsComplete) {
+  Chiron manager(ChironConfig{});
+  const Workflow wf = make_social_network();
+  const Deployment d = manager.deploy(wf, 200.0);
+  EXPECT_NO_THROW(d.plan.validate(wf));
+  EXPECT_EQ(d.profiles.size(), wf.function_count());
+  EXPECT_FALSE(d.orchestrators.empty());
+  EXPECT_FALSE(d.stack_yaml.empty());
+  EXPECT_GT(d.predicted_latency_ms, 0.0);
+}
+
+TEST(ChironTest, MeetsReasonableSlo) {
+  Chiron manager(ChironConfig{});
+  const Deployment d = manager.deploy(make_finra(25), 500.0);
+  EXPECT_TRUE(d.slo_met);
+  EXPECT_LE(d.predicted_latency_ms, 500.0);
+}
+
+TEST(ChironTest, PoolModeUsesSingleWrapPerStage) {
+  ChironConfig config;
+  config.mode = IsolationMode::kPool;
+  Chiron manager(config);
+  const Workflow wf = make_finra(10);
+  const Deployment d = manager.deploy(wf, 500.0);
+  EXPECT_EQ(d.plan.mode, IsolationMode::kPool);
+  for (const StagePlan& sp : d.plan.stages) {
+    EXPECT_EQ(sp.wrap_count(), 1u);
+  }
+}
+
+TEST(ChironTest, PoolModeMinimisesCpus) {
+  ChironConfig config;
+  config.mode = IsolationMode::kPool;
+  Chiron manager(config);
+  const Deployment d = manager.deploy(make_finra(20), 5000.0);
+  // With 20 parallel 2-4 ms rules and a huge SLO, far fewer CPUs than
+  // workers suffice.
+  EXPECT_LT(d.plan.allocated_cpus(), 20u);
+}
+
+TEST(ChironTest, MpkModePropagatesToPlan) {
+  ChironConfig config;
+  config.mode = IsolationMode::kMpk;
+  Chiron manager(config);
+  const Deployment d = manager.deploy(make_slapp(), 500.0);
+  EXPECT_EQ(d.plan.mode, IsolationMode::kMpk);
+}
+
+TEST(ChironTest, DeterministicForSameSeed) {
+  ChironConfig config;
+  config.seed = 77;
+  Chiron a(config), b(config);
+  const Workflow wf = make_slapp_v();
+  const Deployment da = a.deploy(wf, 300.0);
+  const Deployment db = b.deploy(wf, 300.0);
+  EXPECT_DOUBLE_EQ(da.predicted_latency_ms, db.predicted_latency_ms);
+  EXPECT_EQ(da.plan.sandbox_count(), db.plan.sandbox_count());
+  EXPECT_EQ(da.plan.allocated_cpus(), db.plan.allocated_cpus());
+}
+
+TEST(ChironTest, TighterSloNeverAllocatesFewerCpus) {
+  Chiron manager(ChironConfig{});
+  const Workflow wf = make_finra(50);
+  const Deployment loose = manager.deploy(wf, 5000.0);
+  Chiron manager2(ChironConfig{});
+  const Deployment tight = manager2.deploy(wf, 170.0);
+  EXPECT_GE(tight.plan.allocated_cpus(), loose.plan.allocated_cpus());
+}
+
+TEST(ChironTest, JavaWorkflowDeploys) {
+  Chiron manager(ChironConfig{});
+  const Workflow wf = as_java(make_slapp());
+  const Deployment d = manager.deploy(wf, 500.0);
+  EXPECT_NO_THROW(d.plan.validate(wf));
+}
+
+}  // namespace
+}  // namespace chiron

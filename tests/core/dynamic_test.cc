@@ -1,0 +1,80 @@
+// Dynamic-DAG deployment (§7) and Node.js runtime modelling (§2.1) tests.
+#include <gtest/gtest.h>
+
+#include "core/chiron.h"
+#include "core/predictor.h"
+#include "workflow/branching.h"
+
+namespace chiron {
+namespace {
+
+TEST(DynamicDeployTest, PlansEveryBranch) {
+  Chiron manager(ChironConfig{});
+  const BranchingWorkflow wf = make_video_ffmpeg();
+  const DynamicDeployment d = manager.deploy_dynamic(wf, 200.0);
+  ASSERT_EQ(d.variants.size(), wf.branch_count());
+  for (std::size_t i = 0; i < d.variants.size(); ++i) {
+    EXPECT_NO_THROW(d.variants[i].plan.validate(wf.resolve(i)));
+  }
+  EXPECT_TRUE(d.slo_met);
+  EXPECT_LE(d.worst_case_latency_ms, 200.0);
+}
+
+TEST(DynamicDeployTest, ExpectedBetweenBestAndWorst) {
+  Chiron manager(ChironConfig{});
+  const BranchingWorkflow wf = make_video_ffmpeg(0.5);
+  const DynamicDeployment d = manager.deploy_dynamic(wf, 250.0);
+  TimeMs best = 1e18;
+  for (const Deployment& v : d.variants) {
+    best = std::min(best, v.predicted_latency_ms);
+  }
+  EXPECT_GE(d.expected_latency_ms, best - 1e-9);
+  EXPECT_LE(d.expected_latency_ms, d.worst_case_latency_ms + 1e-9);
+}
+
+TEST(DynamicDeployTest, InfeasibleSloReported) {
+  Chiron manager(ChironConfig{});
+  const BranchingWorkflow wf = make_video_ffmpeg();
+  const DynamicDeployment d = manager.deploy_dynamic(wf, 5.0);
+  EXPECT_FALSE(d.slo_met);
+}
+
+TEST(DynamicDeployTest, BranchProbabilityShiftsExpectation) {
+  Chiron a(ChironConfig{}), b(ChironConfig{});
+  const DynamicDeployment mostly_simple =
+      a.deploy_dynamic(make_video_ffmpeg(0.1), 250.0);
+  const DynamicDeployment mostly_split =
+      b.deploy_dynamic(make_video_ffmpeg(0.9), 250.0);
+  // The split path is slower, so weighting it more raises the expectation.
+  EXPECT_GT(mostly_split.expected_latency_ms,
+            mostly_simple.expected_latency_ms);
+}
+
+TEST(NodeJsModelTest, WorkerThreadsPayHeavyStartup) {
+  // §2.1: Node worker_threads cost >50 ms startup each, "leading to
+  // doubled latency" for median functions.
+  std::vector<FunctionBehavior> fns{cpu_bound(30.0), cpu_bound(30.0)};
+  PredictorConfig py_config{RuntimeParams::defaults(), Runtime::kPython3, 1.0};
+  PredictorConfig node_config{RuntimeParams::defaults(), Runtime::kNodeJs, 1.0};
+  Predictor python(py_config, fns);
+  Predictor node(node_config, fns);
+  const TimeMs t_python = python.thread_exec(fns, IsolationMode::kNative);
+  const TimeMs t_node = node.thread_exec(fns, IsolationMode::kNative);
+  // The second worker only becomes ready after its 50 ms spawn; the spawn
+  // overlaps the first worker's execution, so the makespan is
+  // 50 + 30 = 80 ms vs Python's 60.3 ms.
+  EXPECT_GE(t_node, 79.0);
+  EXPECT_GT(t_node, t_python + 15.0);
+}
+
+TEST(NodeJsModelTest, PoolModeUnaffectedByWorkerStartup) {
+  std::vector<FunctionBehavior> fns{cpu_bound(10.0), cpu_bound(10.0)};
+  PredictorConfig node_config{RuntimeParams::defaults(), Runtime::kNodeJs, 1.0};
+  Predictor node(node_config, fns);
+  const TimeMs pool = node.thread_exec(fns, IsolationMode::kPool);
+  // Resident pool workers dispatch in fractions of a millisecond.
+  EXPECT_LT(pool, 25.0);
+}
+
+}  // namespace
+}  // namespace chiron

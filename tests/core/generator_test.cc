@@ -1,0 +1,139 @@
+#include "core/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+TEST(GeneratorTest, OneHandlerPerWrap) {
+  const Workflow wf = make_social_network();
+  const WrapPlan plan = faastlane_plus_plan(wf, 2);
+  const auto generated = generate_orchestrators(wf, plan);
+  std::size_t wraps = 0;
+  for (const StagePlan& sp : plan.stages) wraps += sp.wrap_count();
+  EXPECT_EQ(generated.size(), wraps);
+}
+
+TEST(GeneratorTest, HandlersImportTheirFunctions) {
+  const Workflow wf = make_slapp();
+  const WrapPlan plan = sand_plan(wf);
+  const auto generated = generate_orchestrators(wf, plan);
+  ASSERT_FALSE(generated.empty());
+  // Stage 0's wrap must import all four stage-0 functions.
+  const std::string& code = generated[0].handler;
+  for (FunctionId f : wf.stage(0).functions) {
+    EXPECT_NE(code.find(wf.function(f).name), std::string::npos)
+        << "missing import of " << wf.function(f).name;
+  }
+}
+
+TEST(GeneratorTest, ThreadGroupsSpawnThreads) {
+  const Workflow wf = make_slapp();
+  const WrapPlan plan = faastlane_t_plan(wf);
+  const auto generated = generate_orchestrators(wf, plan);
+  for (const GeneratedWrap& g : generated) {
+    EXPECT_NE(g.handler.find("spawn_thread("), std::string::npos);
+    EXPECT_EQ(g.handler.find("fork_process("), std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, ProcessGroupsFork) {
+  const Workflow wf = make_finra(5);
+  const WrapPlan plan = sand_plan(wf);
+  const auto generated = generate_orchestrators(wf, plan);
+  EXPECT_NE(generated[1].handler.find("fork_process("), std::string::npos);
+}
+
+TEST(GeneratorTest, CoordinatorInvokesPeersAndNextStage) {
+  const Workflow wf = make_finra(6);
+  const WrapPlan plan = faastlane_plus_plan(wf, 2);  // stage 1: 3 wraps
+  const auto generated = generate_orchestrators(wf, plan);
+  // Find stage 1, wrap 0.
+  const GeneratedWrap* coordinator = nullptr;
+  for (const GeneratedWrap& g : generated) {
+    if (g.stage == 1 && g.index == 0) coordinator = &g;
+  }
+  ASSERT_NE(coordinator, nullptr);
+  EXPECT_NE(coordinator->handler.find("invoke_wrap('finra-6-s1-w1'"),
+            std::string::npos);
+  EXPECT_NE(coordinator->handler.find("invoke_wrap('finra-6-s1-w2'"),
+            std::string::npos);
+  // Stage 0's coordinator chains to stage 1.
+  EXPECT_NE(generated[0].handler.find("invoke_wrap('finra-6-s1-w0'"),
+            std::string::npos);
+}
+
+TEST(GeneratorTest, CpuCapEmitsAffinity) {
+  const Workflow wf = make_finra(5);
+  WrapPlan plan = sand_plan(wf);
+  plan.cpu_cap = 2;
+  const auto generated = generate_orchestrators(wf, plan);
+  EXPECT_NE(generated[0].handler.find("set_affinity(cpus=2)"),
+            std::string::npos);
+}
+
+TEST(GeneratorTest, RejectsInvalidPlan) {
+  const Workflow wf = make_finra(5);
+  WrapPlan plan = sand_plan(wf);
+  plan.stages.pop_back();
+  EXPECT_THROW(generate_orchestrators(wf, plan), std::invalid_argument);
+}
+
+TEST(GeneratorTest, StackYamlListsEveryWrap) {
+  const Workflow wf = make_slapp();
+  const WrapPlan plan = faastlane_plus_plan(wf, 2);
+  const std::string yaml = generate_stack_yaml(wf, plan);
+  EXPECT_NE(yaml.find("provider:"), std::string::npos);
+  std::size_t count = 0;
+  for (std::size_t pos = yaml.find("lang: python3-flask");
+       pos != std::string::npos;
+       pos = yaml.find("lang: python3-flask", pos + 1)) {
+    ++count;
+  }
+  std::size_t wraps = 0;
+  for (const StagePlan& sp : plan.stages) wraps += sp.wrap_count();
+  EXPECT_EQ(count, wraps);
+}
+
+TEST(GeneratorTest, DotRendersClustersAndEdges) {
+  const Workflow wf = make_finra(4);
+  const WrapPlan plan = faastlane_plus_plan(wf, 2);
+  const std::string dot = generate_dot(wf, plan);
+  EXPECT_NE(dot.find("digraph \"FINRA-4\""), std::string::npos);
+  // One cluster per wrap: stage 0 has 2 wraps, stage 1 has 2 wraps.
+  std::size_t clusters = 0;
+  for (std::size_t pos = dot.find("subgraph \"cluster_");
+       pos != std::string::npos;
+       pos = dot.find("subgraph \"cluster_", pos + 1)) {
+    ++clusters;
+  }
+  EXPECT_EQ(clusters, 3u);  // stage 0: 1 wrap (2 fns), stage 1: 2 wraps
+  // Every function appears, and cross-stage plus rpc edges exist.
+  for (const FunctionSpec& f : wf.functions()) {
+    EXPECT_NE(dot.find('"' + f.name + '"'), std::string::npos) << f.name;
+  }
+  EXPECT_NE(dot.find("style=dashed, label=\"rpc\""), std::string::npos);
+  EXPECT_NE(dot.find("\"fetch_portfolio\" -> \"rule_0\""), std::string::npos);
+}
+
+TEST(GeneratorTest, DotMarksExecutionModes) {
+  const Workflow wf = make_finra(4);
+  const std::string dot = generate_dot(wf, faastlane_plan(wf));
+  EXPECT_NE(dot.find("xlabel=\"process\""), std::string::npos);
+  const std::string dot_t = generate_dot(wf, faastlane_t_plan(wf));
+  EXPECT_NE(dot_t.find("xlabel=\"thread\""), std::string::npos);
+  EXPECT_EQ(dot_t.find("xlabel=\"process\""), std::string::npos);
+}
+
+TEST(GeneratorTest, MpkPlanAddsMemallocPackage) {
+  const Workflow wf = make_slapp();
+  WrapPlan plan = faastlane_t_plan(wf);
+  plan.mode = IsolationMode::kMpk;
+  EXPECT_NE(generate_stack_yaml(wf, plan).find("mpk-memalloc"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace chiron

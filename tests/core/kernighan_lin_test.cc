@@ -1,0 +1,114 @@
+#include "core/kernighan_lin.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace chiron {
+namespace {
+
+// Cost functional: imbalance of "weights" between the two sets, where the
+// weight of function id f is f itself. The optimum splits the ids evenly.
+TimeMs imbalance(const std::vector<FunctionId>& a,
+                 const std::vector<FunctionId>& b) {
+  double wa = 0.0, wb = 0.0;
+  for (FunctionId f : a) wa += f;
+  for (FunctionId f : b) wb += f;
+  return std::abs(wa - wb);
+}
+
+TEST(KernighanLinTest, PreservesElements) {
+  std::vector<FunctionId> a{1, 2, 3, 4};
+  std::vector<FunctionId> b{10, 11, 12, 13};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  std::multiset<FunctionId> before(a.begin(), a.end());
+  before.insert(b.begin(), b.end());
+  std::multiset<FunctionId> after(result.a.begin(), result.a.end());
+  after.insert(result.b.begin(), result.b.end());
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(result.a.size(), a.size());
+  EXPECT_EQ(result.b.size(), b.size());
+}
+
+TEST(KernighanLinTest, NeverIncreasesLatency) {
+  std::vector<FunctionId> a{1, 2, 3, 20};
+  std::vector<FunctionId> b{4, 5, 6, 7};
+  const TimeMs before = imbalance(a, b);
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  EXPECT_LE(result.latency, before + 1e-9);
+  EXPECT_DOUBLE_EQ(result.latency, imbalance(result.a, result.b));
+}
+
+TEST(KernighanLinTest, FixesObviousImbalance) {
+  // a holds all the heavy ids; swapping balances the sets.
+  std::vector<FunctionId> a{100, 90, 80};
+  std::vector<FunctionId> b{1, 2, 3};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  EXPECT_LT(result.latency, imbalance(a, b) * 0.5);
+  EXPECT_GT(result.swaps_applied, 0u);
+}
+
+TEST(KernighanLinTest, AlreadyOptimalAppliesNoSwaps) {
+  std::vector<FunctionId> a{1, 4};
+  std::vector<FunctionId> b{2, 3};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  EXPECT_EQ(result.swaps_applied, 0u);
+  EXPECT_EQ(result.a, a);
+  EXPECT_EQ(result.b, b);
+}
+
+TEST(KernighanLinTest, HandlesEmptySides) {
+  std::vector<FunctionId> a;
+  std::vector<FunctionId> b{1, 2};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  EXPECT_TRUE(result.a.empty());
+  EXPECT_EQ(result.b.size(), 2u);
+  EXPECT_EQ(result.swaps_applied, 0u);
+}
+
+TEST(KernighanLinTest, SingleElementSides) {
+  std::vector<FunctionId> a{10};
+  std::vector<FunctionId> b{2};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  // Swapping 10 and 2 does not change |10-2|; no improvement possible.
+  EXPECT_DOUBLE_EQ(result.latency, 8.0);
+}
+
+TEST(KernighanLinTest, ReportsEvaluationCount) {
+  std::vector<FunctionId> a{1, 2, 3};
+  std::vector<FunctionId> b{4, 5, 6};
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  // 1 initial + 3 rounds x 9 candidate evals (minus locked) at most.
+  EXPECT_GE(result.evaluations, 1u + 9u);
+  EXPECT_LE(result.evaluations, 1u + 9u + 4u + 1u + 1u);
+}
+
+// Property: KL over random instances never worsens the cost and always
+// preserves the element multiset.
+class KlRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlRandomProperty, ImprovesOrKeepsCost) {
+  Rng rng(GetParam());
+  std::vector<FunctionId> a, b;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(static_cast<FunctionId>(rng.below(100)));
+    b.push_back(static_cast<FunctionId>(rng.below(100)));
+  }
+  const TimeMs before = imbalance(a, b);
+  const KlResult result = kernighan_lin(a, b, imbalance);
+  EXPECT_LE(result.latency, before + 1e-9);
+  std::multiset<FunctionId> m_before(a.begin(), a.end());
+  m_before.insert(b.begin(), b.end());
+  std::multiset<FunctionId> m_after(result.a.begin(), result.a.end());
+  m_after.insert(result.b.begin(), result.b.end());
+  EXPECT_EQ(m_before, m_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlRandomProperty, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace chiron

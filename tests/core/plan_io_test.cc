@@ -1,0 +1,85 @@
+#include "core/plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pgp.h"
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+bool plans_equal(const WrapPlan& a, const WrapPlan& b) {
+  if (a.mode != b.mode || a.cpu_cap != b.cpu_cap ||
+      a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    if (a.stages[s].wraps.size() != b.stages[s].wraps.size()) return false;
+    for (std::size_t w = 0; w < a.stages[s].wraps.size(); ++w) {
+      const Wrap& wa = a.stages[s].wraps[w];
+      const Wrap& wb = b.stages[s].wraps[w];
+      if (wa.processes.size() != wb.processes.size()) return false;
+      for (std::size_t g = 0; g < wa.processes.size(); ++g) {
+        if (wa.processes[g].mode != wb.processes[g].mode) return false;
+        if (wa.processes[g].functions != wb.processes[g].functions) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(PlanIoTest, RoundTripsBuilderPlans) {
+  const Workflow wf = make_social_network();
+  for (const WrapPlan& plan :
+       {sand_plan(wf), faastlane_plan(wf), faastlane_t_plan(wf),
+        faastlane_plus_plan(wf, 2), pool_plan(wf), one_to_one_plan(wf)}) {
+    const WrapPlan again = parse_plan(serialize_plan(plan));
+    EXPECT_TRUE(plans_equal(plan, again));
+    EXPECT_NO_THROW(again.validate(wf));
+  }
+}
+
+TEST(PlanIoTest, RoundTripsPgpPlanWithCpuCap) {
+  const Workflow wf = make_finra(25);
+  std::vector<FunctionBehavior> behaviors;
+  for (const FunctionSpec& f : wf.functions()) behaviors.push_back(f.behavior);
+  PgpScheduler scheduler(PgpConfig{}, wf, behaviors);
+  const PgpResult result = scheduler.schedule(170.0);
+  const WrapPlan again = parse_plan(serialize_plan(result.plan));
+  EXPECT_TRUE(plans_equal(result.plan, again));
+  EXPECT_EQ(again.cpu_cap, result.plan.cpu_cap);
+}
+
+TEST(PlanIoTest, PreservesModes) {
+  const Workflow wf = make_slapp();
+  WrapPlan plan = faastlane_t_plan(wf);
+  plan.mode = IsolationMode::kMpk;
+  EXPECT_EQ(parse_plan(serialize_plan(plan)).mode, IsolationMode::kMpk);
+  plan.mode = IsolationMode::kSfi;
+  EXPECT_EQ(parse_plan(serialize_plan(plan)).mode, IsolationMode::kSfi);
+}
+
+TEST(PlanIoTest, RejectsGarbage) {
+  EXPECT_THROW(parse_plan("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("{}"), std::invalid_argument);  // missing stages
+  EXPECT_THROW(parse_plan(R"({"mode":"warp","stages":[]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_plan(
+          R"({"stages":[[[{"mode":"thread","functions":[-1]}]]]})"),
+      std::invalid_argument);
+}
+
+TEST(PlanIoTest, ParsedPlanDrivesTheBackendIdentically) {
+  // The serialised artifact is a faithful deployment description: the
+  // simulator produces identical latencies from the round-tripped plan.
+  const Workflow wf = make_slapp_v();
+  const WrapPlan plan = faastlane_plus_plan(wf, 2);
+  const WrapPlan again = parse_plan(serialize_plan(plan));
+  EXPECT_TRUE(plans_equal(plan, again));
+}
+
+}  // namespace
+}  // namespace chiron

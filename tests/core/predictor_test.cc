@@ -1,0 +1,272 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+std::vector<FunctionBehavior> true_behaviors(const Workflow& wf) {
+  std::vector<FunctionBehavior> out;
+  for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+  return out;
+}
+
+Predictor make_predictor(const Workflow& wf,
+                         Runtime runtime = Runtime::kPython3,
+                         double conservative = 1.0) {
+  return Predictor(PredictorConfig{RuntimeParams::defaults(), runtime,
+                                   conservative},
+                   true_behaviors(wf));
+}
+
+TEST(EffectiveBehaviorTest, MergesCpuSpansAndFillsGaps) {
+  GilSimulator sim(5.0, /*record_spans=*/true);
+  const auto result = sim.run(staggered_tasks(
+      {alternating({2.0, 6.0, 2.0}), cpu_bound(3.0)}, 0.0));
+  const FunctionBehavior eff = effective_behavior(result);
+  // The process is busy whenever any thread holds the GIL.
+  EXPECT_NEAR(eff.total_cpu(), 7.0, 1e-6);
+  EXPECT_NEAR(eff.solo_latency(), result.makespan, 1e-6);
+}
+
+TEST(EffectiveBehaviorTest, PureBlockResult) {
+  GilSimulator sim(5.0, true);
+  const auto result =
+      sim.run(staggered_tasks({alternating({0.0, 10.0})}, 0.0));
+  const FunctionBehavior eff = effective_behavior(result);
+  EXPECT_NEAR(eff.total_block(), 10.0, 1e-6);
+  EXPECT_NEAR(eff.total_cpu(), 0.0, 1e-6);
+}
+
+TEST(PredictorTest, RejectsBadConservativeFactor) {
+  EXPECT_THROW(Predictor(PredictorConfig{RuntimeParams::defaults(),
+                                         Runtime::kPython3, 0.0},
+                         {}),
+               std::invalid_argument);
+}
+
+TEST(PredictorTest, ThreadExecMatchesGilSerialization) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  // 5 CPU-bound rules as threads: roughly the sum of their CPU (with
+  // contention) plus the spawn stagger.
+  std::vector<FunctionBehavior> rules;
+  double total = 0.0;
+  for (FunctionId f : wf.stage(1).functions) {
+    rules.push_back(wf.function(f).behavior);
+    total += wf.function(f).behavior.total_cpu();
+  }
+  const TimeMs t = p.thread_exec(rules, IsolationMode::kNative);
+  EXPECT_GE(t, total - 1e-6);
+  EXPECT_LT(t, total + 5.0);
+}
+
+TEST(PredictorTest, ProcessLatencyFollowsEq4) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  const RuntimeParams& params = RuntimeParams::defaults();
+  ProcessGroup g{{2}, ExecMode::kProcess};
+  const TimeMs solo = wf.function(2).behavior.solo_latency();
+  // Eq. (4): fork_index blocks + startup + exec.
+  EXPECT_NEAR(p.process_latency(g, 0, IsolationMode::kNative),
+              params.process_startup_ms + solo, 1e-6);
+  EXPECT_NEAR(p.process_latency(g, 3, IsolationMode::kNative),
+              3 * params.process_block_ms + params.process_startup_ms + solo,
+              1e-6);
+}
+
+TEST(PredictorTest, ThreadGroupHasNoForkCost) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  ProcessGroup g{{2}, ExecMode::kThread};
+  const TimeMs solo = wf.function(2).behavior.solo_latency();
+  EXPECT_NEAR(p.process_latency(g, 0, IsolationMode::kNative), solo, 1e-6);
+}
+
+TEST(PredictorTest, WrapLatencyAddsIpcPerProcess) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  const RuntimeParams& params = RuntimeParams::defaults();
+  Wrap one;
+  one.processes.push_back({{2}, ExecMode::kProcess});
+  Wrap three;
+  three.processes.push_back({{2}, ExecMode::kProcess});
+  three.processes.push_back({{3}, ExecMode::kProcess});
+  three.processes.push_back({{4}, ExecMode::kProcess});
+  const TimeMs lat1 = p.wrap_latency(one, IsolationMode::kNative);
+  const TimeMs lat3 = p.wrap_latency(three, IsolationMode::kNative);
+  // Eq. (3): T_IPC * (|P| - 1) plus the extra fork block time.
+  EXPECT_GT(lat3, lat1 + 2 * params.ipc_pipe_ms - 1e-6);
+}
+
+TEST(PredictorTest, StageLatencyChargesRpcForRemoteWraps) {
+  const Workflow wf = make_finra(4);
+  const Predictor p = make_predictor(wf);
+  const RuntimeParams& params = RuntimeParams::defaults();
+  Wrap w0, w1;
+  w0.processes.push_back({{2, 3}, ExecMode::kThread});
+  w1.processes.push_back({{4, 5}, ExecMode::kProcess});
+  StagePlan local{{w0}};
+  StagePlan remote{{w0, w1}};
+  const TimeMs t_local = p.stage_latency(local, IsolationMode::kNative);
+  const TimeMs t_remote = p.stage_latency(remote, IsolationMode::kNative);
+  (void)t_local;
+  // Eq. (2): the remote wrap's completion includes T_RPC.
+  const TimeMs w1_lat = p.wrap_latency(w1, IsolationMode::kNative);
+  EXPECT_NEAR(t_remote,
+              std::max(p.wrap_latency(w0, IsolationMode::kNative),
+                       params.rpc_ms + w1_lat),
+              1e-6);
+}
+
+TEST(PredictorTest, WorkflowLatencySumsStages) {
+  const Workflow wf = make_social_network();
+  const Predictor p = make_predictor(wf);
+  const WrapPlan plan = faastlane_plan(wf);
+  TimeMs sum = 0.0;
+  for (const StagePlan& sp : plan.stages) {
+    sum += p.stage_latency(sp, plan.mode, plan.cpu_cap);
+  }
+  EXPECT_NEAR(p.workflow_latency(plan), sum, 1e-9);
+}
+
+TEST(PredictorTest, ConservativeFactorScalesEstimate) {
+  const Workflow wf = make_social_network();
+  const Predictor base = make_predictor(wf, Runtime::kPython3, 1.0);
+  const Predictor safe = make_predictor(wf, Runtime::kPython3, 1.2);
+  const WrapPlan plan = faastlane_plan(wf);
+  EXPECT_NEAR(safe.workflow_latency(plan), 1.2 * base.workflow_latency(plan),
+              1e-9);
+}
+
+TEST(PredictorTest, MpkSlowsCpuBoundThreadGroups) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  Wrap w;
+  w.processes.push_back({{2, 3, 4}, ExecMode::kThread});
+  const TimeMs native = p.wrap_latency(w, IsolationMode::kNative);
+  const TimeMs mpk = p.wrap_latency(w, IsolationMode::kMpk);
+  EXPECT_GT(mpk, native);
+  // Pure-CPU rules: ~35 % execution overhead (Table 1), plus MPK startup.
+  EXPECT_LT(mpk, native * 1.5);
+}
+
+TEST(PredictorTest, SfiCostsMoreThanMpk) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  Wrap w;
+  w.processes.push_back({{2, 3, 4}, ExecMode::kThread});
+  EXPECT_GT(p.wrap_latency(w, IsolationMode::kSfi),
+            p.wrap_latency(w, IsolationMode::kMpk));
+}
+
+TEST(PredictorTest, PoolRunsTrulyParallel) {
+  const Workflow wf = make_finra(8);
+  const Predictor p = make_predictor(wf);
+  const WrapPlan native = faastlane_t_plan(wf);  // all threads, GIL
+  const WrapPlan pool = pool_plan(wf);
+  // End-to-end the pool still wins...
+  EXPECT_LT(p.workflow_latency(pool), p.workflow_latency(native));
+  // ...and on the 8-way CPU-bound rules stage (where the fetch stage's
+  // blocking does not mask the difference) it wins decisively.
+  const TimeMs rules_native =
+      p.stage_latency(native.stages[1], native.mode);
+  const TimeMs rules_pool =
+      p.stage_latency(pool.stages[1], pool.mode, pool.cpu_cap);
+  EXPECT_LT(rules_pool, rules_native * 0.5);
+}
+
+TEST(PredictorTest, JavaThreadsAreTrulyParallel) {
+  const Workflow wf = as_java(make_finra(8));
+  const Predictor p = make_predictor(wf, Runtime::kJava);
+  const WrapPlan plan = faastlane_t_plan(wf);
+  TimeMs slowest_rule = 0.0;
+  for (FunctionId f : wf.stage(1).functions) {
+    slowest_rule = std::max(slowest_rule,
+                            wf.function(f).behavior.solo_latency());
+  }
+  const StagePlan& rules_stage = plan.stages[1];
+  const TimeMs t = p.stage_latency(rules_stage, plan.mode);
+  EXPECT_LT(t, slowest_rule + 3.0);  // near-perfect overlap
+}
+
+TEST(PredictorTest, CpuCapDegradesGracefully) {
+  const Workflow wf = make_finra(20);
+  const Predictor p = make_predictor(wf);
+  WrapPlan plan = sand_plan(wf);
+  const TimeMs uncapped = p.workflow_latency(plan);
+  plan.cpu_cap = 2;
+  const TimeMs capped = p.workflow_latency(plan);
+  EXPECT_GE(capped, uncapped - 1e-6);
+}
+
+TEST(PredictorTest, EmptyThreadSetCostsNothing) {
+  const Workflow wf = make_finra(5);
+  const Predictor p = make_predictor(wf);
+  EXPECT_DOUBLE_EQ(p.thread_exec({}, IsolationMode::kNative), 0.0);
+}
+
+TEST(PredictorTest, PoolCapAboveWorkerCountIsFree) {
+  const Workflow wf = make_finra(8);
+  const Predictor p = make_predictor(wf);
+  WrapPlan small = pool_plan(wf);
+  small.cpu_cap = 8;  // = worker count at the rules stage
+  WrapPlan big = pool_plan(wf);
+  big.cpu_cap = 32;  // more CPUs than workers
+  EXPECT_NEAR(p.workflow_latency(small), p.workflow_latency(big), 1e-9);
+}
+
+TEST(PredictorTest, SingletonWrapOffsetsFollowEq2) {
+  // With w singleton wraps, the last wrap's completion carries
+  // (w-2) * T_INV + T_RPC of invocation offset.
+  const Workflow wf = make_finra(6);
+  const Predictor p = make_predictor(wf);
+  const RuntimeParams& params = RuntimeParams::defaults();
+  const WrapPlan plan = one_to_one_plan(wf);
+  const StagePlan& rules = plan.stages[1];
+  ASSERT_EQ(rules.wrap_count(), 6u);
+  TimeMs slowest_offsetted = 0.0;
+  for (std::size_t k = 0; k < 6; ++k) {
+    const TimeMs offset =
+        k == 0 ? 0.0 : (k - 1) * params.inv_ms + params.rpc_ms;
+    slowest_offsetted = std::max(
+        slowest_offsetted,
+        offset + p.wrap_latency(rules.wraps[k], IsolationMode::kNative));
+  }
+  EXPECT_NEAR(p.stage_latency(rules, IsolationMode::kNative),
+              slowest_offsetted, 1e-9);
+}
+
+TEST(PredictorTest, DecentralizedSchedulingDropsSerialTerm) {
+  const Workflow wf = make_finra(12);
+  RuntimeParams central;
+  RuntimeParams decentral;
+  decentral.decentralized_scheduling = true;
+  std::vector<FunctionBehavior> behaviors;
+  for (const FunctionSpec& f : wf.functions()) behaviors.push_back(f.behavior);
+  Predictor pc(PredictorConfig{central, Runtime::kPython3, 1.0}, behaviors);
+  Predictor pd(PredictorConfig{decentral, Runtime::kPython3, 1.0}, behaviors);
+  const WrapPlan plan = one_to_one_plan(wf);  // 12 singleton wraps
+  EXPECT_LT(pd.workflow_latency(plan), pc.workflow_latency(plan));
+}
+
+// Property: the CPU cap is monotone — more CPUs never predict slower.
+class CpuCapMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CpuCapMonotone, MoreCpusNeverSlower) {
+  const Workflow wf = make_finra(16);
+  const Predictor p = make_predictor(wf);
+  WrapPlan a = sand_plan(wf);
+  WrapPlan b = sand_plan(wf);
+  a.cpu_cap = GetParam();
+  b.cpu_cap = GetParam() + 1;
+  EXPECT_GE(p.workflow_latency(a) + 1e-6, p.workflow_latency(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CpuCapMonotone,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,109 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+FunctionSpec spec_of(FunctionBehavior b) {
+  FunctionSpec spec;
+  spec.name = "probe";
+  spec.behavior = std::move(b);
+  return spec;
+}
+
+TEST(ProfilerTest, RejectsBadConfig) {
+  ProfilerConfig config;
+  config.solo_runs = 0;
+  EXPECT_THROW(Profiler(config, Rng(1)), std::invalid_argument);
+}
+
+TEST(ProfilerTest, LatencyIsCloseToTruth) {
+  Profiler profiler(ProfilerConfig{}, Rng(2));
+  const auto b = disk_io_bound(6.0, 18.0, 3);
+  const Profile p = profiler.profile(spec_of(b));
+  EXPECT_NEAR(p.solo_latency_ms, b.solo_latency(), b.solo_latency() * 0.05);
+  EXPECT_NEAR(p.behavior.solo_latency(), p.solo_latency_ms, 1e-9);
+}
+
+TEST(ProfilerTest, PreservesBlockStructure) {
+  Profiler profiler(ProfilerConfig{}, Rng(3));
+  const auto b = disk_io_bound(6.0, 18.0, 3);
+  const Profile p = profiler.profile(spec_of(b));
+  EXPECT_EQ(p.block_periods.size(), 3u);
+  // Block share stays near the true 75 %.
+  EXPECT_NEAR(p.behavior.total_block() / p.behavior.solo_latency(), 0.75,
+              0.05);
+}
+
+TEST(ProfilerTest, PureCpuFunctionStaysPureCpu) {
+  Profiler profiler(ProfilerConfig{}, Rng(4));
+  const Profile p = profiler.profile(spec_of(cpu_bound(10.0)));
+  EXPECT_TRUE(p.block_periods.empty());
+  EXPECT_NEAR(p.behavior.total_cpu(), 10.0, 1.0);
+}
+
+TEST(ProfilerTest, EmptyBehaviorIsSafe) {
+  Profiler profiler(ProfilerConfig{}, Rng(5));
+  const Profile p = profiler.profile(spec_of(FunctionBehavior{}));
+  EXPECT_DOUBLE_EQ(p.solo_latency_ms, 0.0);
+  EXPECT_TRUE(p.behavior.empty());
+}
+
+TEST(ProfilerTest, ProfilesWholeWorkflowInOrder) {
+  Profiler profiler(ProfilerConfig{}, Rng(6));
+  const Workflow wf = make_social_network();
+  const auto profiles = profiler.profile_workflow(wf);
+  ASSERT_EQ(profiles.size(), wf.function_count());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].name, wf.function(i).name);
+  }
+}
+
+TEST(ProfilerTest, BehaviorsHelperKeepsOrder) {
+  Profiler profiler(ProfilerConfig{}, Rng(7));
+  const Workflow wf = make_slapp();
+  const auto profiles = profiler.profile_workflow(wf);
+  const auto behaviors = Profiler::behaviors(profiles);
+  ASSERT_EQ(behaviors.size(), profiles.size());
+  for (std::size_t i = 0; i < behaviors.size(); ++i) {
+    EXPECT_EQ(behaviors[i], profiles[i].behavior);
+  }
+}
+
+TEST(ProfilerTest, DeterministicWithSameSeed) {
+  const Workflow wf = make_slapp();
+  Profiler a(ProfilerConfig{}, Rng(8));
+  Profiler b(ProfilerConfig{}, Rng(8));
+  const auto pa = a.profile_workflow(wf);
+  const auto pb = b.profile_workflow(wf);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i].solo_latency_ms, pb[i].solo_latency_ms);
+  }
+}
+
+// Property: across a range of behaviours the relative reconstruction error
+// stays small — the Predictor's input is trustworthy (Fig. 12 premise).
+class ProfilerAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfilerAccuracy, ReconstructionErrorIsSmall) {
+  Rng seed_rng(GetParam());
+  Profiler profiler(ProfilerConfig{}, Rng(100 + GetParam()));
+  const auto behaviors = {cpu_bound(5.0), network_io_bound(2.0, 20.0),
+                          disk_io_bound(4.0, 12.0, 4),
+                          alternating({1.0, 3.0, 2.0, 4.0, 1.0})};
+  for (const auto& b : behaviors) {
+    const Profile p = profiler.profile(spec_of(b));
+    EXPECT_NEAR(p.behavior.solo_latency(), b.solo_latency(),
+                b.solo_latency() * 0.06);
+    EXPECT_NEAR(p.behavior.total_cpu(), b.total_cpu(),
+                b.solo_latency() * 0.12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfilerAccuracy, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace chiron

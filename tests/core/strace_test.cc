@@ -1,0 +1,110 @@
+#include "core/strace.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+// The paper's Fig. 10 trace, in strace -ttt -T form.
+const char* kFig10 = R"(
+1690000000.048000 select(4, [3], NULL, NULL, {1, 0}) = 1 <1.001000>
+1690000001.070000 openat(AT_FDCWD, "/home/app/test.txt", O_WRONLY|O_CREAT) = 4 <0.000010>
+1690000001.070100 write(4</home/app/test.txt>, "1", 1) = 1 <0.000042>
+1690000001.081000 read(4</home/app/test.txt>, "", 512) = 0 <0.000025>
+)";
+
+TEST(StraceTest, ParsesFig10Records) {
+  const StraceLog log = parse_strace_log(kFig10);
+  ASSERT_EQ(log.records.size(), 4u);
+  EXPECT_EQ(log.records[0].name, "select");
+  EXPECT_NEAR(log.records[0].start_ms, 0.0, 1e-6);
+  EXPECT_NEAR(log.records[0].duration_ms, 1001.0, 1e-6);
+  EXPECT_EQ(log.records[2].name, "write");
+  EXPECT_NEAR(log.records[2].start_ms, 1022.1, 0.01);
+  EXPECT_NEAR(log.records[2].duration_ms, 0.042, 1e-6);
+  EXPECT_EQ(log.records[2].path, "/home/app/test.txt");
+}
+
+TEST(StraceTest, DetectsWrittenFiles) {
+  const StraceLog log = parse_strace_log(kFig10);
+  ASSERT_EQ(log.files_written.size(), 1u);
+  EXPECT_EQ(log.files_written[0], "/home/app/test.txt");
+}
+
+TEST(StraceTest, BlockPeriodsMatchFig10) {
+  const StraceLog log = parse_strace_log(kFig10);
+  const auto periods = block_periods_from_strace(log, 1200.0);
+  // select (1001 ms), write (0.042 ms), read (0.025 ms); openat has
+  // negligible duration but is blocking too (merged if overlapping).
+  ASSERT_GE(periods.size(), 3u);
+  EXPECT_NEAR(periods[0].start, 0.0, 1e-6);
+  EXPECT_NEAR(periods[0].duration(), 1001.0, 1e-6);
+}
+
+TEST(StraceTest, SkipsNoiseLines) {
+  const std::string noisy = std::string("--- SIGCHLD ---\n") + kFig10 +
+                            "garbage line\n+++ exited with 0 +++\n";
+  const StraceLog log = parse_strace_log(noisy);
+  EXPECT_EQ(log.records.size(), 4u);
+}
+
+TEST(StraceTest, ThrowsWhenNothingParses) {
+  EXPECT_THROW(parse_strace_log("not a trace at all"), std::invalid_argument);
+  // Empty input is fine (empty trace).
+  EXPECT_TRUE(parse_strace_log("").records.empty());
+}
+
+TEST(StraceTest, NonBlockingSyscallsIgnoredForPeriods) {
+  const StraceLog log = parse_strace_log(
+      "1.000000 mmap(NULL, 4096, PROT_READ) = 0x7f <5.000000>\n"
+      "7.000000 getpid() = 42 <0.000001>\n");
+  EXPECT_EQ(log.records.size(), 2u);
+  EXPECT_TRUE(block_periods_from_strace(log, 10000.0).empty());
+}
+
+TEST(StraceTest, ClipsPeriodsToLatency) {
+  const StraceLog log = parse_strace_log(
+      "1.000000 nanosleep({5, 0}, NULL) = 0 <5.000000>\n");
+  const auto periods = block_periods_from_strace(log, 3000.0);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_LE(periods[0].end, 3000.0);
+}
+
+TEST(StraceTest, MergesOverlappingBlocks) {
+  const StraceLog log = parse_strace_log(
+      "1.000000 poll([{fd=3}], 1, 1000) = 1 <1.000000>\n"
+      "1.500000 read(3, \"\", 512) = 10 <0.800000>\n");
+  const auto periods = block_periods_from_strace(log, 5000.0);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_NEAR(periods[0].start, 0.0, 1e-6);
+  EXPECT_NEAR(periods[0].end, 1300.0, 1e-6);  // 500 + 800
+}
+
+TEST(StraceTest, BehaviorFromStraceMatchesStructure) {
+  const FunctionBehavior b = behavior_from_strace(kFig10, 1200.0);
+  EXPECT_NEAR(b.solo_latency(), 1200.0, 1e-6);
+  EXPECT_GT(b.total_block(), 1000.0);
+  EXPECT_GT(b.total_cpu(), 100.0);
+}
+
+TEST(StraceTest, RenderParseRoundTrip) {
+  const FunctionBehavior original = disk_io_bound(6.0, 18.0, 3);
+  const std::string log_text = render_strace_log(original);
+  const FunctionBehavior rebuilt =
+      behavior_from_strace(log_text, original.solo_latency());
+  EXPECT_NEAR(rebuilt.total_block(), original.total_block(), 0.01);
+  EXPECT_NEAR(rebuilt.total_cpu(), original.total_cpu(), 0.01);
+  EXPECT_EQ(rebuilt.block_periods().size(),
+            original.block_periods().size());
+}
+
+TEST(StraceTest, BlockingSyscallClassifier) {
+  EXPECT_TRUE(is_blocking_syscall("select"));
+  EXPECT_TRUE(is_blocking_syscall("read"));
+  EXPECT_TRUE(is_blocking_syscall("nanosleep"));
+  EXPECT_FALSE(is_blocking_syscall("mmap"));
+  EXPECT_FALSE(is_blocking_syscall("getpid"));
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,184 @@
+#include "core/wrap.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+Workflow two_stage() {
+  std::vector<FunctionSpec> fns(5);
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    fns[i].name = "f" + std::to_string(i);
+    fns[i].behavior = cpu_bound(1.0 + i);
+  }
+  return Workflow("two", std::move(fns), {{{0}}, {{1, 2, 3, 4}}});
+}
+
+TEST(WrapTest, CountsFunctionsAndProcesses) {
+  Wrap w;
+  w.processes.push_back({{0, 1}, ExecMode::kThread});
+  w.processes.push_back({{2}, ExecMode::kProcess});
+  w.processes.push_back({{3, 4}, ExecMode::kProcess});
+  EXPECT_EQ(w.function_count(), 5u);
+  EXPECT_EQ(w.process_count(), 3u);
+  EXPECT_EQ(w.forked_count(), 2u);
+}
+
+TEST(WrapPlanTest, PeakAccounting) {
+  const Workflow wf = two_stage();
+  const WrapPlan plan = sand_plan(wf);
+  EXPECT_EQ(plan.sandbox_count(), 1u);
+  EXPECT_EQ(plan.peak_processes(), 4u);  // second stage has 4 processes
+  EXPECT_EQ(plan.peak_stage_functions(), 4u);
+  EXPECT_EQ(plan.allocated_cpus(), 4u);
+}
+
+TEST(WrapPlanTest, CpuCapOverridesAllocation) {
+  WrapPlan plan = sand_plan(two_stage());
+  plan.cpu_cap = 2;
+  EXPECT_EQ(plan.allocated_cpus(), 2u);
+}
+
+TEST(WrapPlanTest, PoolAllocatesPerWorker) {
+  const WrapPlan plan = pool_plan(two_stage());
+  EXPECT_EQ(plan.mode, IsolationMode::kPool);
+  EXPECT_EQ(plan.allocated_cpus(), 4u);  // one per worker at peak stage
+  EXPECT_EQ(plan.peak_processes(), 1u);
+}
+
+TEST(WrapPlanValidationTest, AcceptsAllBuilders) {
+  const Workflow wf = make_social_network();
+  EXPECT_NO_THROW(one_to_one_plan(wf).validate(wf));
+  EXPECT_NO_THROW(sand_plan(wf).validate(wf));
+  EXPECT_NO_THROW(faastlane_plan(wf).validate(wf));
+  EXPECT_NO_THROW(faastlane_t_plan(wf).validate(wf));
+  EXPECT_NO_THROW(faastlane_plus_plan(wf).validate(wf));
+  EXPECT_NO_THROW(pool_plan(wf).validate(wf));
+}
+
+TEST(WrapPlanValidationTest, RejectsStageCountMismatch) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages.pop_back();
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsMissingFunction) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages[1].wraps[0].processes.pop_back();
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsDuplicateFunction) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages[1].wraps[0].processes.push_back({{1}, ExecMode::kProcess});
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsForeignFunction) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages[0].wraps[0].processes[0].functions = {3};
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsTwoThreadGroupsPerWrap) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages[1].wraps[0].processes[0].mode = ExecMode::kThread;
+  plan.stages[1].wraps[0].processes[1].mode = ExecMode::kThread;
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsEmptyGroup) {
+  const Workflow wf = two_stage();
+  WrapPlan plan = sand_plan(wf);
+  plan.stages[0].wraps[0].processes[0].functions.clear();
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsSharedFileWriters) {
+  std::vector<FunctionSpec> fns(2);
+  fns[0].name = "a";
+  fns[0].behavior = cpu_bound(1.0);
+  fns[0].files_written = {"/tmp/data"};
+  fns[1].name = "b";
+  fns[1].behavior = cpu_bound(1.0);
+  fns[1].files_written = {"/tmp/data"};
+  const Workflow wf("conflict", std::move(fns), {{{0, 1}}});
+  const WrapPlan plan = sand_plan(wf);
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, RejectsRuntimeTagConflicts) {
+  std::vector<FunctionSpec> fns(2);
+  fns[0].name = "a";
+  fns[0].behavior = cpu_bound(1.0);
+  fns[0].runtime_tag = "py2.7";
+  fns[1].name = "b";
+  fns[1].behavior = cpu_bound(1.0);
+  fns[1].runtime_tag = "py3.11";
+  const Workflow wf("conflict", std::move(fns), {{{0, 1}}});
+  EXPECT_THROW(sand_plan(wf).validate(wf), std::invalid_argument);
+}
+
+TEST(WrapPlanValidationTest, MpkGroupSizeIsBounded) {
+  // 16 pkeys per process, one reserved: at most 15 isolated threads.
+  const Workflow wf = make_finra(20);  // 20 rules in the parallel stage
+  WrapPlan plan = faastlane_t_plan(wf);
+  plan.mode = IsolationMode::kMpk;  // 20-thread group under MPK: invalid
+  EXPECT_THROW(plan.validate(wf), std::invalid_argument);
+  plan.mode = IsolationMode::kNative;  // no pkey limit without MPK
+  EXPECT_NO_THROW(plan.validate(wf));
+}
+
+TEST(WrapPlanValidationTest, MpkGroupAtTheLimitIsValid) {
+  const Workflow wf = make_finra(15);
+  WrapPlan plan = faastlane_t_plan(wf);
+  plan.mode = IsolationMode::kMpk;  // exactly 15 threads: allowed
+  EXPECT_NO_THROW(plan.validate(wf));
+}
+
+TEST(PlanBuildersTest, OneToOneIsOneFunctionPerWrap) {
+  const Workflow wf = two_stage();
+  const WrapPlan plan = one_to_one_plan(wf);
+  EXPECT_EQ(plan.stages[1].wrap_count(), 4u);
+  for (const Wrap& w : plan.stages[1].wraps) {
+    EXPECT_EQ(w.function_count(), 1u);
+  }
+}
+
+TEST(PlanBuildersTest, FaastlaneThreadsSequentialStages) {
+  const Workflow wf = two_stage();
+  const WrapPlan plan = faastlane_plan(wf);
+  EXPECT_EQ(plan.stages[0].wraps[0].processes[0].mode, ExecMode::kThread);
+  for (const ProcessGroup& g : plan.stages[1].wraps[0].processes) {
+    EXPECT_EQ(g.mode, ExecMode::kProcess);
+  }
+}
+
+TEST(PlanBuildersTest, FaastlaneTIsAllThreads) {
+  const WrapPlan plan = faastlane_t_plan(two_stage());
+  for (const StagePlan& sp : plan.stages) {
+    ASSERT_EQ(sp.wrap_count(), 1u);
+    ASSERT_EQ(sp.wraps[0].process_count(), 1u);
+    EXPECT_EQ(sp.wraps[0].processes[0].mode, ExecMode::kThread);
+  }
+}
+
+TEST(PlanBuildersTest, FaastlanePlusChunksProcesses) {
+  const Workflow wf = make_finra(12);
+  const WrapPlan plan = faastlane_plus_plan(wf, 5);
+  // 12 rules -> wraps of 5, 5, 2.
+  ASSERT_EQ(plan.stages[1].wrap_count(), 3u);
+  EXPECT_EQ(plan.stages[1].wraps[0].process_count(), 5u);
+  EXPECT_EQ(plan.stages[1].wraps[2].process_count(), 2u);
+  EXPECT_THROW(faastlane_plus_plan(wf, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron

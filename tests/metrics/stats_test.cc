@@ -1,0 +1,93 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace chiron {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputationOnRandomData) {
+  Rng rng(33);
+  RunningStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(100.0, 15.0);
+    values.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean_of(values), 1e-9);
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);  // interpolation
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(MeanTest, RejectsEmpty) {
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+}
+
+TEST(CdfTest, MonotoneAndBounded) {
+  Rng rng(44);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.normal(50.0, 10.0));
+  Cdf cdf(samples);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 100.0; x += 1.0) {
+    const double y = cdf.at(x);
+    EXPECT_GE(y, prev);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    prev = y;
+  }
+  EXPECT_DOUBLE_EQ(cdf.at(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(-1e9), 0.0);
+}
+
+TEST(CdfTest, QuantileInvertsAt) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  Cdf cdf(samples);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(CdfTest, RejectsEmptySample) {
+  EXPECT_THROW(Cdf({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron

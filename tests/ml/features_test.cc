@@ -1,0 +1,94 @@
+#include "ml/features.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron::ml {
+namespace {
+
+using chiron::make_finra;
+using chiron::make_slapp;
+
+TEST(FeaturesTest, ShapesMatchPlan) {
+  const auto wf = make_slapp();
+  const auto plan = chiron::faastlane_plan(wf);
+  Rng rng(1);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  EXPECT_EQ(f.per_function.size(), wf.function_count());
+  EXPECT_EQ(f.node_features.rows(), wf.function_count());
+  EXPECT_EQ(f.node_features.cols(), kFunctionFeatureDim);
+  EXPECT_EQ(f.adjacency.rows(), wf.function_count());
+  EXPECT_EQ(f.adjacency.cols(), wf.function_count());
+  EXPECT_EQ(f.aggregate.size(), 8u + 3u * kFunctionFeatureDim);
+}
+
+TEST(FeaturesTest, PerFunctionVectorsHaveFixedDim) {
+  const auto wf = make_finra(10);
+  const auto plan = chiron::sand_plan(wf);
+  Rng rng(2);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  for (const auto& v : f.per_function) {
+    EXPECT_EQ(v.size(), kFunctionFeatureDim);
+  }
+}
+
+TEST(FeaturesTest, AdjacencyIsSymmetricZeroDiagonal) {
+  const auto wf = make_slapp();
+  const auto plan = chiron::faastlane_t_plan(wf);
+  Rng rng(3);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  const std::size_t n = f.adjacency.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(f.adjacency.at(i, i), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(f.adjacency.at(i, j), f.adjacency.at(j, i));
+    }
+  }
+}
+
+TEST(FeaturesTest, CoResidentFunctionsAreConnected) {
+  const auto wf = make_finra(5);
+  const auto plan = chiron::faastlane_t_plan(wf);  // one wrap per stage
+  Rng rng(4);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  // The five rules share a wrap: their block is fully connected.
+  // Order: stage0 (2 fns), stage1 (5 rules).
+  for (std::size_t i = 2; i < 7; ++i) {
+    for (std::size_t j = i + 1; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(f.adjacency.at(i, j), 1.0);
+    }
+  }
+}
+
+TEST(FeaturesTest, ModeFlagsReflectPlan) {
+  const auto wf = make_slapp();
+  auto plan = chiron::faastlane_plan(wf);
+  plan.mode = chiron::IsolationMode::kMpk;
+  Rng rng(5);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  // Indices 10..12 are the native/mpk/pool one-hot flags.
+  EXPECT_DOUBLE_EQ(f.per_function[0][10], 0.0);
+  EXPECT_DOUBLE_EQ(f.per_function[0][11], 1.0);
+  EXPECT_DOUBLE_EQ(f.per_function[0][12], 0.0);
+}
+
+TEST(FeaturesTest, SoloLatencyIsFirstFeature) {
+  const auto wf = make_finra(5);
+  const auto plan = chiron::sand_plan(wf);
+  Rng rng(6);
+  const ConfigFeatures f =
+      extract_features(wf, plan, chiron::RuntimeParams::defaults(), rng);
+  // Function order in sand_plan follows stage order, so row 0 is
+  // fetch_portfolio.
+  EXPECT_NEAR(f.node_features.at(0, 0),
+              wf.function(0).behavior.solo_latency(), 1e-9);
+}
+
+}  // namespace
+}  // namespace chiron::ml

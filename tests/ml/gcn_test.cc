@@ -1,0 +1,121 @@
+#include "ml/gcn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chiron::ml {
+namespace {
+
+// Target: an affine function of the mean of feature 0 — representable by
+// mean pooling, so a working GCN must learn it.
+std::vector<GraphSample> graph_dataset(int n, Rng& rng) {
+  std::vector<GraphSample> samples;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t nodes = 2 + rng.below(5);
+    GraphSample s;
+    s.features = Matrix(nodes, 2);
+    s.adjacency = Matrix(nodes, nodes);
+    double sum = 0.0;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      const double x = rng.uniform(0.0, 1.0);
+      sum += x;
+      s.features.at(v, 0) = x;
+      s.features.at(v, 1) = rng.uniform(0.0, 1.0);
+      if (v + 1 < nodes) {
+        s.adjacency.at(v, v + 1) = 1.0;
+        s.adjacency.at(v + 1, v) = 1.0;
+      }
+    }
+    s.target = 3.0 * sum / static_cast<double>(nodes) + 1.0;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(GcnTest, RequiresInputDim) {
+  GcnRegressor::Options opts;
+  EXPECT_THROW(GcnRegressor{opts}, std::invalid_argument);
+}
+
+TEST(GcnTest, NormalizedAdjacencyProperties) {
+  Matrix a(3, 3);
+  a.at(0, 1) = a.at(1, 0) = 1.0;
+  a.at(1, 2) = a.at(2, 1) = 1.0;
+  const Matrix norm = GcnRegressor::normalize_adjacency(a);
+  // Symmetric.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(norm.at(i, j), norm.at(j, i), 1e-12);
+    }
+  }
+  // Self-loops present, all entries in (0, 1].
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(norm.at(i, i), 0.0);
+    EXPECT_LE(norm.at(i, i), 1.0);
+  }
+  EXPECT_THROW(GcnRegressor::normalize_adjacency(Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(GcnTest, NormalizedRegularGraphRowsSumToOne) {
+  // A cycle is 2-regular: with self-loops each row of Â sums to 1.
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.at(i, (i + 1) % n) = 1.0;
+    a.at((i + 1) % n, i) = 1.0;
+  }
+  const Matrix norm = GcnRegressor::normalize_adjacency(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += norm.at(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(GcnTest, LearnsPoolingTask) {
+  Rng rng(21);
+  auto train = graph_dataset(300, rng);
+  GcnRegressor::Options opts;
+  opts.input_dim = 2;
+  opts.epochs = 60;
+  GcnRegressor model(opts);
+  model.fit(train);
+  const auto test = graph_dataset(50, rng);
+  double err = 0.0, baseline_err = 0.0, mean = 0.0;
+  for (const GraphSample& s : test) mean += s.target;
+  mean /= test.size();
+  for (const GraphSample& s : test) {
+    err += std::abs(model.predict(s) - s.target);
+    baseline_err += std::abs(mean - s.target);
+  }
+  // Clearly better than predicting the mean.
+  EXPECT_LT(err, baseline_err * 0.6);
+}
+
+TEST(GcnTest, RejectsBadInputs) {
+  GcnRegressor::Options opts;
+  opts.input_dim = 2;
+  GcnRegressor model(opts);
+  EXPECT_THROW(model.fit({}), std::invalid_argument);
+  GraphSample bad;
+  bad.features = Matrix(2, 3);  // wrong feature dim
+  bad.adjacency = Matrix(2, 2);
+  EXPECT_THROW(model.fit({bad}), std::invalid_argument);
+}
+
+TEST(GcnTest, DeterministicForSeed) {
+  Rng rng(22);
+  const auto train = graph_dataset(40, rng);
+  GcnRegressor::Options opts;
+  opts.input_dim = 2;
+  opts.epochs = 10;
+  GcnRegressor a(opts), b(opts);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_DOUBLE_EQ(a.predict(train[0]), b.predict(train[0]));
+}
+
+}  // namespace
+}  // namespace chiron::ml

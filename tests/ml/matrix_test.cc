@@ -1,0 +1,137 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chiron::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(MatrixTest, MatmulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = v++;
+  v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b.at(r, c) = v++;
+  const Matrix p = a * b;
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 64.0);
+}
+
+TEST(MatrixTest, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3) * Matrix(2, 3), std::invalid_argument);
+}
+
+TEST(MatrixTest, TransposeRoundTrips) {
+  Rng rng(1);
+  Matrix m = Matrix::xavier(3, 5, rng);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  const Matrix tt = t.transposed();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(tt.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a(1, 3);
+  Matrix b(1, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    a.at(0, c) = c + 1.0;
+    b.at(0, c) = 2.0;
+  }
+  EXPECT_DOUBLE_EQ((a + b).at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.hadamard(b).at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.scaled(3.0).at(0, 2), 9.0);
+  EXPECT_THROW(a + Matrix(2, 2), std::invalid_argument);
+}
+
+TEST(MatrixTest, BroadcastAddsRow) {
+  Matrix m(2, 2, 1.0);
+  Matrix row(1, 2);
+  row.at(0, 0) = 10.0;
+  row.at(0, 1) = 20.0;
+  const Matrix out = m.add_row_broadcast(row);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 21.0);
+  EXPECT_THROW(m.add_row_broadcast(Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(MatrixTest, ColMeanAndSum) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const Matrix mean = m.col_mean();
+  EXPECT_DOUBLE_EQ(mean.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(mean.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 10.0);
+}
+
+TEST(MatrixTest, XavierIsBoundedAndDeterministic) {
+  Rng r1(42), r2(42);
+  const Matrix a = Matrix::xavier(10, 10, r1);
+  const Matrix b = Matrix::xavier(10, 10, r2);
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) {
+      EXPECT_LE(std::abs(a.at(r, c)), limit);
+      EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+}
+
+TEST(ActivationsTest, SigmoidProperties) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(10.0), 1.0, 1e-4);
+  EXPECT_NEAR(sigmoid(-10.0), 0.0, 1e-4);
+  // Derivative via the output form matches finite differences.
+  const double x = 0.7, eps = 1e-6;
+  const double fd = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps);
+  EXPECT_NEAR(dsigmoid_from_y(sigmoid(x)), fd, 1e-6);
+}
+
+TEST(ActivationsTest, TanhDerivative) {
+  const double x = -0.3, eps = 1e-6;
+  const double fd = (tanh_act(x + eps) - tanh_act(x - eps)) / (2 * eps);
+  EXPECT_NEAR(dtanh_from_y(tanh_act(x)), fd, 1e-6);
+}
+
+TEST(ActivationsTest, Relu) {
+  EXPECT_DOUBLE_EQ(relu(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(relu(-3.0), 0.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimise (x - 5)^2 with Adam.
+  Matrix x(1, 1, 0.0);
+  Adam opt(1, 1, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    Matrix grad(1, 1, 2.0 * (x.at(0, 0) - 5.0));
+    opt.step(x, grad);
+  }
+  EXPECT_NEAR(x.at(0, 0), 5.0, 0.05);
+}
+
+}  // namespace
+}  // namespace chiron::ml

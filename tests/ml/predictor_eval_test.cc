@@ -1,0 +1,79 @@
+#include "ml/predictor_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/stats.h"
+#include "workflow/benchmarks.h"
+
+namespace chiron::ml {
+namespace {
+
+using chiron::make_finra;
+using chiron::make_movie_reviewing;
+using chiron::make_slapp;
+using chiron::make_social_network;
+
+EvalOptions fast_options() {
+  EvalOptions opts;
+  opts.actual_runs = 2;
+  opts.max_configs = 10;
+  return opts;
+}
+
+TEST(EnumeratePlansTest, PlansAreValidAndDistinct) {
+  const auto wf = make_slapp();
+  const auto plans =
+      enumerate_plans(wf, chiron::IsolationMode::kNative, 20);
+  EXPECT_GT(plans.size(), 3u);
+  for (const auto& plan : plans) {
+    EXPECT_NO_THROW(plan.validate(wf));
+  }
+}
+
+TEST(EnumeratePlansTest, RespectsLimit) {
+  const auto wf = make_finra(10);
+  EXPECT_LE(enumerate_plans(wf, chiron::IsolationMode::kNative, 5).size(), 5u);
+}
+
+TEST(EnumeratePlansTest, PoolModeVariesCpuCap) {
+  const auto wf = make_finra(6);
+  const auto plans = enumerate_plans(wf, chiron::IsolationMode::kPool, 20);
+  ASSERT_GE(plans.size(), 2u);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[i].mode, chiron::IsolationMode::kPool);
+    EXPECT_EQ(plans[i].cpu_cap, i + 1);
+  }
+}
+
+TEST(BuildDatasetTest, RowsHavePositiveActuals) {
+  const auto wf = make_slapp();
+  const auto dataset = build_dataset(wf, fast_options());
+  EXPECT_FALSE(dataset.empty());
+  for (const ConfigSample& cs : dataset) {
+    EXPECT_GT(cs.actual_ms, 0.0);
+    EXPECT_FALSE(cs.features.aggregate.empty());
+  }
+}
+
+TEST(PredictorEvalTest, ChironBeatsLearnedModelsOnAverage) {
+  // The Fig. 12 headline at miniature scale: train on three workflows,
+  // evaluate on a fourth.
+  EvalOptions opts = fast_options();
+  const std::vector<chiron::Workflow> train{
+      make_social_network(), make_movie_reviewing(), make_finra(5)};
+  const PredictionErrors errors =
+      evaluate_predictors(train, make_slapp(), opts);
+  ASSERT_FALSE(errors.chiron.empty());
+  ASSERT_EQ(errors.chiron.size(), errors.rfr.size());
+  const double chiron_err = chiron::mean_of(errors.chiron);
+  const double rfr_err = chiron::mean_of(errors.rfr);
+  const double lstm_err = chiron::mean_of(errors.lstm);
+  // The white-box predictor stays in the paper's error band...
+  EXPECT_LT(chiron_err, 15.0);
+  // ...and beats the learned models trained on other workflows.
+  EXPECT_LT(chiron_err, rfr_err);
+  EXPECT_LT(chiron_err, lstm_err);
+}
+
+}  // namespace
+}  // namespace chiron::ml

@@ -1,0 +1,109 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chiron::ml {
+namespace {
+
+std::vector<Sample> linear_dataset(int n, Rng& rng) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0.0, 10.0);
+    const double x1 = rng.uniform(0.0, 10.0);
+    samples.push_back({{x0, x1}, 3.0 * x0 + x1});
+  }
+  return samples;
+}
+
+TEST(DecisionTreeTest, FitsConstantTarget) {
+  std::vector<Sample> samples{{{1.0}, 5.0}, {{2.0}, 5.0}, {{3.0}, 5.0}};
+  DecisionTree tree;
+  Rng rng(1);
+  std::vector<std::size_t> idx{0, 1, 2};
+  tree.fit(samples, idx, DecisionTree::Options{}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict({1.5}), 5.0);
+  EXPECT_EQ(tree.node_count(), 1u);  // constant target: leaf only
+}
+
+TEST(DecisionTreeTest, SplitsPerfectlySeparableData) {
+  std::vector<Sample> samples{{{0.0}, 1.0}, {{1.0}, 1.0},
+                              {{10.0}, 9.0}, {{11.0}, 9.0}};
+  DecisionTree tree;
+  Rng rng(2);
+  std::vector<std::size_t> idx{0, 1, 2, 3};
+  tree.fit(samples, idx, DecisionTree::Options{}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict({0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict({10.5}), 9.0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(3);
+  auto samples = linear_dataset(200, rng);
+  DecisionTree::Options opts;
+  opts.max_depth = 1;
+  DecisionTree tree;
+  std::vector<std::size_t> idx(samples.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  tree.fit(samples, idx, opts, rng);
+  EXPECT_LE(tree.node_count(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTreeTest, ThrowsOnEmptyOrUnfitted) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  std::vector<Sample> samples;
+  Rng rng(4);
+  std::vector<std::size_t> idx;
+  EXPECT_THROW(tree.fit(samples, idx, DecisionTree::Options{}, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomForestTest, LearnsLinearFunction) {
+  Rng rng(5);
+  auto train = linear_dataset(400, rng);
+  RandomForest forest;
+  forest.fit(train);
+  double total_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(1.0, 9.0);
+    const double x1 = rng.uniform(1.0, 9.0);
+    const double truth = 3.0 * x0 + x1;
+    total_err += std::abs(forest.predict({x0, x1}) - truth) / truth;
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 0.08);  // < 8 % mean relative error in-domain
+}
+
+TEST(RandomForestTest, ExtrapolationIsBounded) {
+  Rng rng(6);
+  RandomForest forest;
+  forest.fit(linear_dataset(200, rng));
+  // Trees cannot extrapolate beyond the training range — prediction
+  // saturates near the max seen target. This is exactly why RFR struggles
+  // across workflows in Fig. 12.
+  const double far = forest.predict({100.0, 100.0});
+  EXPECT_LT(far, 3.0 * 10.0 + 10.0 + 1.0);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  Rng rng(7);
+  auto train = linear_dataset(100, rng);
+  RandomForest::Options opts;
+  opts.n_trees = 10;
+  RandomForest a(opts), b(opts);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_DOUBLE_EQ(a.predict({5.0, 5.0}), b.predict({5.0, 5.0}));
+}
+
+TEST(RandomForestTest, ThrowsOnEmptyOrUnfitted) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict({1.0}), std::logic_error);
+  EXPECT_THROW(forest.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron::ml

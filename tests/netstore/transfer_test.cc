@@ -1,0 +1,60 @@
+#include "netstore/transfer.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+TEST(TransferTest, S3MatchesFig4Anchors) {
+  const TransferModel s3 = s3_remote();
+  // "Even the smallest data transfer can take up to 52 ms."
+  EXPECT_NEAR(s3.latency_ms(1), 52.0, 1.0);
+  // "For 1 GB data, the overhead can reach up-to 25 s."
+  EXPECT_NEAR(s3.latency_ms(1_GB), 25000.0, 3000.0);
+}
+
+TEST(TransferTest, MinioMatchesFig4Anchors) {
+  const TransferModel minio = minio_local();
+  // "The interaction overhead still ranges from 10 ms to 10 s."
+  EXPECT_NEAR(minio.latency_ms(1), 10.0, 1.0);
+  EXPECT_NEAR(minio.latency_ms(1_GB), 10000.0, 1500.0);
+}
+
+TEST(TransferTest, LocalIsFasterThanRemoteEverywhere) {
+  const TransferModel s3 = s3_remote();
+  const TransferModel minio = minio_local();
+  for (Bytes size : {Bytes{1}, 1_KB, 1_MB, 100_MB, 1_GB}) {
+    EXPECT_LT(minio.latency_ms(size), s3.latency_ms(size));
+  }
+}
+
+TEST(TransferTest, LatencyIsMonotoneInSize) {
+  for (const TransferModel& m : {s3_remote(), minio_local(), pipe_ipc(0.35),
+                                 shared_memory(), local_rpc(8.0)}) {
+    TimeMs prev = -1.0;
+    for (Bytes size : {Bytes{0}, Bytes{1}, 1_KB, 1_MB, 64_MB, 1_GB}) {
+      const TimeMs t = m.latency_ms(size);
+      EXPECT_GE(t, prev) << m.name;
+      prev = t;
+    }
+  }
+}
+
+TEST(TransferTest, SharedMemoryIsEffectivelyFree) {
+  const TransferModel shm = shared_memory();
+  // Zero copies: the paper assumes no interaction cost between threads.
+  EXPECT_DOUBLE_EQ(shm.latency_ms(1_GB), 0.0);
+}
+
+TEST(TransferTest, PipeBaseMatchesConfiguredIpc) {
+  const TransferModel pipe = pipe_ipc(0.35);
+  EXPECT_NEAR(pipe.latency_ms(0), 0.35, 1e-9);
+}
+
+TEST(TransferTest, InvalidBandwidthThrows) {
+  TransferModel bad{"bad", 0.0, 0.0, 1.0};
+  EXPECT_THROW(bad.latency_ms(1_KB), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chiron

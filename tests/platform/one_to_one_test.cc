@@ -1,0 +1,122 @@
+#include "platform/one_to_one.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+NoiseConfig no_noise() {
+  NoiseConfig noise;
+  noise.jitter_sigma = 0.0;
+  noise.thread_contention = 0.0;
+  noise.run_sigma = 0.0;
+  return noise;
+}
+
+OneToOneBackend make_backend(OneToOneKind kind, const Workflow& wf) {
+  return OneToOneBackend(kind, RuntimeParams::defaults(), wf, no_noise());
+}
+
+TEST(OneToOneTest, Names) {
+  const Workflow wf = make_finra(5);
+  EXPECT_EQ(make_backend(OneToOneKind::kAsf, wf).name(), "ASF");
+  EXPECT_EQ(make_backend(OneToOneKind::kOpenFaas, wf).name(), "OpenFaaS");
+}
+
+TEST(OneToOneTest, AsfIsSlowerThanOpenFaas) {
+  // Fig. 3/4: remote scheduling + S3 vs local orchestration + MinIO.
+  for (std::size_t n : {5ul, 25ul, 50ul}) {
+    const Workflow wf = make_finra(n);
+    Rng r1(1), r2(1);
+    const TimeMs asf =
+        make_backend(OneToOneKind::kAsf, wf).run(r1).e2e_latency_ms;
+    const TimeMs ofs =
+        make_backend(OneToOneKind::kOpenFaas, wf).run(r2).e2e_latency_ms;
+    EXPECT_GT(asf, 2.0 * ofs) << "FINRA-" << n;
+  }
+}
+
+TEST(OneToOneTest, SchedulingOverheadGrowsWithFanOut) {
+  Rng rng(2);
+  const TimeMs t5 =
+      make_backend(OneToOneKind::kOpenFaas, make_finra(5)).run(rng).e2e_latency_ms;
+  const TimeMs t50 = make_backend(OneToOneKind::kOpenFaas, make_finra(50))
+                         .run(rng)
+                         .e2e_latency_ms;
+  // The rules are the same size; the fan-out cost dominates the growth.
+  EXPECT_GT(t50 - t5, 100.0);
+}
+
+TEST(OneToOneTest, AsfBillsStateTransitions) {
+  const Workflow wf = make_finra(5);
+  Rng r1(3), r2(3);
+  EXPECT_GT(make_backend(OneToOneKind::kAsf, wf).run(r1).state_transitions,
+            wf.function_count());
+  EXPECT_EQ(make_backend(OneToOneKind::kOpenFaas, wf).run(r2).state_transitions,
+            0u);
+}
+
+TEST(OneToOneTest, EveryFunctionGetsItsOwnSandboxAndCpu) {
+  const Workflow wf = make_social_network();
+  const ResourceUsage usage =
+      make_backend(OneToOneKind::kOpenFaas, wf).resources();
+  EXPECT_EQ(usage.sandboxes, wf.function_count());
+  EXPECT_DOUBLE_EQ(usage.cpus, static_cast<double>(wf.function_count()));
+  // Runtime duplication: memory scales with the function count (Obs. 4).
+  EXPECT_GT(usage.memory_mb,
+            static_cast<double>(wf.function_count()) *
+                RuntimeParams::defaults().runtime_mb);
+}
+
+TEST(OneToOneTest, TimelinesCoverEveryFunction) {
+  const Workflow wf = make_movie_reviewing();
+  Rng rng(4);
+  const RunResult result =
+      make_backend(OneToOneKind::kOpenFaas, wf).run(rng);
+  EXPECT_EQ(result.functions.size(), wf.function_count());
+  for (const FunctionTimeline& tl : result.functions) {
+    EXPECT_LT(tl.invoke_ms, tl.finish_ms);
+    EXPECT_FALSE(tl.spans.empty());
+  }
+}
+
+TEST(OneToOneTest, IntermediateDataIsPushedAndPulled) {
+  // A workflow with a large intermediate payload pays the storage round
+  // trip; shrinking the payload shrinks the latency.
+  std::vector<FunctionSpec> fns(2);
+  fns[0].name = "producer";
+  fns[0].behavior = cpu_bound(1.0);
+  fns[0].output_bytes = 64_MB;
+  fns[1].name = "consumer";
+  fns[1].behavior = cpu_bound(1.0);
+  const Workflow big("big", fns, {{{0}}, {{1}}});
+  fns[0].output_bytes = 1_KB;
+  const Workflow small("small", fns, {{{0}}, {{1}}});
+  Rng r1(5), r2(5);
+  const TimeMs t_big =
+      make_backend(OneToOneKind::kOpenFaas, big).run(r1).e2e_latency_ms;
+  const TimeMs t_small =
+      make_backend(OneToOneKind::kOpenFaas, small).run(r2).e2e_latency_ms;
+  EXPECT_GT(t_big, t_small + 100.0);
+}
+
+TEST(OneToOneTest, DispatchRampStaggersInvocations) {
+  const Workflow wf = make_finra(50);
+  Rng rng(6);
+  const RunResult result = make_backend(OneToOneKind::kAsf, wf).run(rng);
+  // Rule invocations span the scheduling window instead of being
+  // simultaneous.
+  TimeMs min_invoke = 1e18, max_invoke = 0.0;
+  for (const FunctionTimeline& tl : result.functions) {
+    if (tl.id >= 2) {
+      min_invoke = std::min(min_invoke, tl.invoke_ms);
+      max_invoke = std::max(max_invoke, tl.invoke_ms);
+    }
+  }
+  EXPECT_GT(max_invoke - min_invoke, 500.0);
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/gil.h"
+
+namespace chiron {
+namespace {
+
+TEST(CpuShareTest, EnoughCpusGivesSoloLatency) {
+  CpuShareSimulator sim(4);
+  const auto result = sim.run(staggered_tasks(
+      {cpu_bound(10.0), cpu_bound(8.0), disk_io_bound(3.0, 6.0, 2)}, 0.0));
+  EXPECT_NEAR(result.tasks[0].finish_ms, 10.0, 1e-6);
+  EXPECT_NEAR(result.tasks[1].finish_ms, 8.0, 1e-6);
+  EXPECT_NEAR(result.tasks[2].finish_ms, 9.0, 1e-6);
+  EXPECT_NEAR(result.makespan, 10.0, 1e-6);
+}
+
+TEST(CpuShareTest, SingleCpuProcessorShares) {
+  CpuShareSimulator sim(1);
+  const auto result =
+      sim.run(staggered_tasks({cpu_bound(10.0), cpu_bound(10.0)}, 0.0));
+  // Equal shares: both finish at 20 ms.
+  EXPECT_NEAR(result.tasks[0].finish_ms, 20.0, 1e-6);
+  EXPECT_NEAR(result.tasks[1].finish_ms, 20.0, 1e-6);
+}
+
+TEST(CpuShareTest, UnequalTasksFinishInOrder) {
+  CpuShareSimulator sim(1);
+  const auto result =
+      sim.run(staggered_tasks({cpu_bound(4.0), cpu_bound(12.0)}, 0.0));
+  // Shared until the short one finishes at 8 ms, then the long one runs
+  // alone: 8 + (12 - 4) = 16 ms.
+  EXPECT_NEAR(result.tasks[0].finish_ms, 8.0, 1e-6);
+  EXPECT_NEAR(result.tasks[1].finish_ms, 16.0, 1e-6);
+}
+
+TEST(CpuShareTest, CpuTimeIsConserved) {
+  CpuShareSimulator sim(2);
+  const std::vector<FunctionBehavior> behaviors{
+      cpu_bound(7.0), cpu_bound(5.0), disk_io_bound(4.0, 9.0, 2),
+      network_io_bound(2.0, 11.0)};
+  const auto result = sim.run(staggered_tasks(behaviors, 0.25));
+  double expected = 0.0, actual = 0.0;
+  for (const auto& b : behaviors) expected += b.total_cpu();
+  for (const auto& t : result.tasks) actual += t.cpu_ms;
+  EXPECT_NEAR(actual, expected, 1e-5);
+}
+
+TEST(CpuShareTest, BlocksOverlapRegardlessOfCpus) {
+  CpuShareSimulator sim(1);
+  const auto result = sim.run(staggered_tasks(
+      {alternating({0.0, 30.0}), alternating({0.0, 28.0})}, 0.0));
+  EXPECT_NEAR(result.makespan, 30.0, 1e-6);
+}
+
+TEST(CpuShareTest, ReadyTimesRespected) {
+  CpuShareSimulator sim(2);
+  std::vector<ThreadTask> tasks{{cpu_bound(5.0), 0.0}, {cpu_bound(5.0), 50.0}};
+  const auto result = sim.run(tasks);
+  EXPECT_GE(result.tasks[1].start_ms, 50.0 - 1e-9);
+  EXPECT_NEAR(result.makespan, 55.0, 1e-6);
+}
+
+TEST(CpuShareTest, ZeroCpusClampedToOne) {
+  CpuShareSimulator sim(0);
+  const auto result = sim.run(staggered_tasks({cpu_bound(5.0)}, 0.0));
+  EXPECT_NEAR(result.makespan, 5.0, 1e-6);
+}
+
+// Property: makespan is non-increasing in the CPU count.
+class CpuMonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuMonotonicityProperty, MoreCpusNeverSlower) {
+  const int cpus = GetParam();
+  std::vector<FunctionBehavior> behaviors;
+  for (int i = 0; i < 8; ++i) {
+    behaviors.push_back(cpu_bound(3.0 + i));
+    behaviors.push_back(disk_io_bound(2.0, 5.0, 2));
+  }
+  const auto tasks = staggered_tasks(behaviors, 0.25);
+  CpuShareSimulator fewer(cpus), more(cpus + 1);
+  EXPECT_GE(fewer.run(tasks).makespan + 1e-6, more.run(tasks).makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuCounts, CpuMonotonicityProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+// Property: with c CPUs and n >= c identical CPU tasks, makespan ~ n*T/c.
+class CpuThroughputProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CpuThroughputProperty, WorkDividesAcrossCpus) {
+  const auto [cpus, n] = GetParam();
+  std::vector<FunctionBehavior> behaviors(n, cpu_bound(6.0));
+  CpuShareSimulator sim(cpus);
+  const auto result = sim.run(staggered_tasks(behaviors, 0.0));
+  const double expected = 6.0 * n / std::min(cpus, n);
+  EXPECT_NEAR(result.makespan, expected, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CpuThroughputProperty,
+                         ::testing::Values(std::pair{1, 4}, std::pair{2, 4},
+                                           std::pair{2, 8}, std::pair{4, 4},
+                                           std::pair{4, 16}, std::pair{8, 8}));
+
+TEST(StaggeredTasksTest, AppliesLinearOffsets) {
+  const auto tasks =
+      staggered_tasks({cpu_bound(1.0), cpu_bound(1.0), cpu_bound(1.0)}, 2.5);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_DOUBLE_EQ(tasks[0].ready_ms, 0.0);
+  EXPECT_DOUBLE_EQ(tasks[1].ready_ms, 2.5);
+  EXPECT_DOUBLE_EQ(tasks[2].ready_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,205 @@
+#include "runtime/gil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace chiron {
+namespace {
+
+using Kind = Segment::Kind;
+
+constexpr TimeMs kI = 5.0;  // switch interval
+
+std::vector<ThreadTask> tasks_of(std::vector<FunctionBehavior> behaviors,
+                                 TimeMs gap = 0.0) {
+  return staggered_tasks(behaviors, gap);
+}
+
+TEST(GilSimTest, EmptyInputYieldsEmptyResult) {
+  GilSimulator sim(kI);
+  const auto result = sim.run({});
+  EXPECT_EQ(result.tasks.size(), 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(GilSimTest, SingleCpuTaskRunsSolo) {
+  GilSimulator sim(kI);
+  const auto result = sim.run(tasks_of({cpu_bound(12.0)}));
+  ASSERT_EQ(result.tasks.size(), 1u);
+  EXPECT_NEAR(result.tasks[0].finish_ms, 12.0, 1e-9);
+  EXPECT_NEAR(result.makespan, 12.0, 1e-9);
+}
+
+TEST(GilSimTest, TwoCpuTasksSerialize) {
+  GilSimulator sim(kI);
+  const auto result = sim.run(tasks_of({cpu_bound(10.0), cpu_bound(10.0)}));
+  EXPECT_NEAR(result.makespan, 20.0, 1e-9);
+}
+
+TEST(GilSimTest, CpuTimeIsConserved) {
+  GilSimulator sim(kI);
+  const std::vector<FunctionBehavior> behaviors{
+      cpu_bound(7.0), disk_io_bound(4.0, 9.0, 2), network_io_bound(2.0, 11.0)};
+  const auto result = sim.run(tasks_of(behaviors, 0.3));
+  double expected = 0.0, actual = 0.0;
+  for (const auto& b : behaviors) expected += b.total_cpu();
+  for (const auto& t : result.tasks) actual += t.cpu_ms;
+  EXPECT_NEAR(actual, expected, 1e-6);
+}
+
+TEST(GilSimTest, PureBlocksOverlap) {
+  GilSimulator sim(kI);
+  const auto result = sim.run(tasks_of(
+      {alternating({0.0, 30.0}), alternating({0.0, 25.0})}));
+  // Both sleep concurrently; the GIL is free during blocks.
+  EXPECT_NEAR(result.makespan, 30.0, 1e-6);
+}
+
+TEST(GilSimTest, BlockOverlapsWithCpu) {
+  GilSimulator sim(kI);
+  // One thread blocks 20 ms, another burns 15 ms CPU: they overlap.
+  const auto result =
+      sim.run(tasks_of({alternating({0.0, 20.0}), cpu_bound(15.0)}));
+  EXPECT_NEAR(result.makespan, 20.0, 1e-6);
+}
+
+TEST(GilSimTest, PreemptionSharesTheInterpreterFairly) {
+  GilSimulator sim(kI);
+  const auto result = sim.run(tasks_of({cpu_bound(50.0), cpu_bound(50.0)}));
+  // Both make interleaved progress; finish times are within one quantum.
+  EXPECT_NEAR(result.tasks[0].finish_ms, result.tasks[1].finish_ms, kI + 1e-6);
+  EXPECT_NEAR(result.makespan, 100.0, 1e-6);
+}
+
+TEST(GilSimTest, ShortTaskNotStarvedByLongTask) {
+  GilSimulator sim(kI);
+  const auto result = sim.run(tasks_of({cpu_bound(100.0), cpu_bound(4.0)}));
+  // CFS picks the min-CPU thread at each switch: the short task finishes
+  // long before the long one.
+  EXPECT_LT(result.tasks[1].finish_ms, 20.0);
+  EXPECT_NEAR(result.makespan, 104.0, 1e-6);
+}
+
+TEST(GilSimTest, ReadyTimesAreRespected) {
+  GilSimulator sim(kI);
+  std::vector<ThreadTask> tasks{{cpu_bound(5.0), 0.0}, {cpu_bound(5.0), 100.0}};
+  const auto result = sim.run(tasks);
+  EXPECT_GE(result.tasks[1].start_ms, 100.0);
+  EXPECT_NEAR(result.makespan, 105.0, 1e-6);
+}
+
+TEST(GilSimTest, MakespanAtLeastSlowestSolo) {
+  GilSimulator sim(kI);
+  const std::vector<FunctionBehavior> behaviors{
+      disk_io_bound(5.0, 20.0, 3), cpu_bound(9.0), network_io_bound(1.0, 18.0)};
+  const auto result = sim.run(tasks_of(behaviors, 0.3));
+  TimeMs slowest = 0.0;
+  for (const auto& b : behaviors) slowest = std::max(slowest, b.solo_latency());
+  EXPECT_GE(result.makespan, slowest - 1e-9);
+}
+
+TEST(GilSimTest, MakespanAtMostTotalWork) {
+  GilSimulator sim(kI);
+  const std::vector<FunctionBehavior> behaviors{
+      disk_io_bound(5.0, 20.0, 3), cpu_bound(9.0), network_io_bound(1.0, 18.0)};
+  const auto result = sim.run(tasks_of(behaviors, 0.3));
+  TimeMs total = 0.0;
+  for (const auto& b : behaviors) total += b.solo_latency();
+  EXPECT_LE(result.makespan, total + 3 * 0.3 + 1e-9);
+}
+
+TEST(GilSimTest, DeterministicAcrossRuns) {
+  GilSimulator sim(kI);
+  const std::vector<FunctionBehavior> behaviors{
+      disk_io_bound(3.0, 8.0, 2), cpu_bound(6.0), network_io_bound(1.0, 9.0)};
+  const auto a = sim.run(tasks_of(behaviors, 0.3));
+  const auto b = sim.run(tasks_of(behaviors, 0.3));
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].finish_ms, b.tasks[i].finish_ms);
+  }
+}
+
+TEST(GilSimTest, CpuSpansAreDisjointAcrossThreads) {
+  GilSimulator sim(kI, /*record_spans=*/true);
+  const auto result = sim.run(
+      tasks_of({cpu_bound(15.0), cpu_bound(12.0), disk_io_bound(3.0, 6.0, 2)},
+               0.3));
+  std::vector<TimelineSpan> cpu;
+  for (const auto& t : result.tasks) {
+    for (const auto& s : t.spans) {
+      if (s.kind == TimelineSpan::Kind::kCpu) cpu.push_back(s);
+    }
+  }
+  std::sort(cpu.begin(), cpu.end(),
+            [](const auto& a, const auto& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < cpu.size(); ++i) {
+    EXPECT_GE(cpu[i].begin, cpu[i - 1].end - 1e-9)
+        << "two threads held the GIL simultaneously";
+  }
+}
+
+TEST(GilSimTest, SpanDurationsMatchCpuTime) {
+  GilSimulator sim(kI, /*record_spans=*/true);
+  const std::vector<FunctionBehavior> behaviors{cpu_bound(9.0),
+                                                disk_io_bound(4.0, 7.0, 2)};
+  const auto result = sim.run(tasks_of(behaviors, 0.2));
+  for (std::size_t i = 0; i < behaviors.size(); ++i) {
+    TimeMs cpu_spans = 0.0;
+    for (const auto& s : result.tasks[i].spans) {
+      if (s.kind == TimelineSpan::Kind::kCpu) cpu_spans += s.end - s.begin;
+    }
+    EXPECT_NEAR(cpu_spans, behaviors[i].total_cpu(), 1e-6);
+  }
+}
+
+TEST(GilSimTest, LeadingBlockStartsAtReady) {
+  GilSimulator sim(kI, true);
+  std::vector<ThreadTask> tasks{{alternating({0.0, 10.0, 5.0}), 2.0}};
+  const auto result = sim.run(tasks);
+  EXPECT_NEAR(result.tasks[0].start_ms, 2.0, 1e-9);
+  EXPECT_NEAR(result.tasks[0].finish_ms, 17.0, 1e-9);
+}
+
+TEST(GilSimTest, ZeroLengthTaskFinishesAtReady) {
+  GilSimulator sim(kI);
+  std::vector<ThreadTask> tasks{{FunctionBehavior{}, 3.0}};
+  const auto result = sim.run(tasks);
+  EXPECT_NEAR(result.tasks[0].finish_ms, 3.0, 1e-9);
+}
+
+// Property sweep: for n identical CPU-bound threads the makespan is
+// n * T (pseudo-parallelism never beats serial CPU).
+class GilScalingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GilScalingProperty, CpuBoundThreadsSerialize) {
+  const int n = GetParam();
+  GilSimulator sim(kI);
+  std::vector<FunctionBehavior> behaviors(n, cpu_bound(4.0));
+  const auto result = sim.run(tasks_of(behaviors));
+  EXPECT_NEAR(result.makespan, 4.0 * n, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GilScalingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+// Property sweep: IO-heavy threads overlap, so makespan grows sublinearly.
+class GilIoOverlapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GilIoOverlapProperty, IoBoundThreadsOverlap) {
+  const int n = GetParam();
+  GilSimulator sim(kI);
+  std::vector<FunctionBehavior> behaviors(n, network_io_bound(1.0, 20.0));
+  const auto result = sim.run(tasks_of(behaviors, 0.3));
+  // Serial would be n * 21; overlap keeps it near 20 + n * cpu.
+  EXPECT_LT(result.makespan, 21.0 + n * 2.0);
+  EXPECT_GE(result.makespan, 21.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GilIoOverlapProperty,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,88 @@
+#include "runtime/params.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+TEST(ParamsTest, DefaultsMatchPaperAnchors) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_DOUBLE_EQ(p.gil_switch_interval_ms, 5.0);      // CPython default
+  EXPECT_DOUBLE_EQ(p.process_startup_ms, 7.5);          // Fig. 5
+  EXPECT_DOUBLE_EQ(p.sandbox_cold_start_ms, 167.0);     // §1 [63]
+  EXPECT_EQ(p.node_cpus, 40u);                          // Table 2
+  EXPECT_DOUBLE_EQ(p.cpu_freq_ghz, 2.1);                // Table 2
+  // Thread startup is ~96 % below process startup (§1).
+  EXPECT_LT(p.thread_startup_ms, p.process_startup_ms * 0.05);
+}
+
+TEST(ParamsTest, PricingMatchesPaper) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_DOUBLE_EQ(p.usd_per_gb_second, 0.0000025);
+  EXPECT_DOUBLE_EQ(p.usd_per_ghz_second, 0.0000100);
+  EXPECT_DOUBLE_EQ(p.usd_per_state_transition, 0.000025);
+}
+
+TEST(ParamsTest, AsfSchedulingMatchesFig3) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_NEAR(p.asf_scheduling_ms(5), 150.0, 30.0);
+  EXPECT_NEAR(p.asf_scheduling_ms(25), 874.0, 150.0);
+  EXPECT_NEAR(p.asf_scheduling_ms(50), 1628.0, 250.0);
+  // FINRA-200 scheduling exceeds 8 s (§6.2).
+  EXPECT_GT(p.asf_scheduling_ms(200), 8000.0);
+  EXPECT_DOUBLE_EQ(p.asf_scheduling_ms(0), 0.0);
+}
+
+TEST(ParamsTest, OpenFaasSchedulingMatchesFig3) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_NEAR(p.openfaas_scheduling_ms(5), 2.0, 2.0);
+  EXPECT_NEAR(p.openfaas_scheduling_ms(25), 70.0, 15.0);
+  EXPECT_NEAR(p.openfaas_scheduling_ms(50), 180.0, 30.0);
+}
+
+TEST(ParamsTest, SchedulingIsMonotoneInFanOut) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  for (std::size_t n = 1; n < 300; ++n) {
+    EXPECT_LE(p.asf_scheduling_ms(n), p.asf_scheduling_ms(n + 1));
+    EXPECT_LE(p.openfaas_scheduling_ms(n), p.openfaas_scheduling_ms(n + 1));
+  }
+}
+
+TEST(ParamsTest, IsolationOverheadMatchesTable1Anchors) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  // Fibonacci is pure CPU (fraction 1.0): MPK 35.2 %, SFI 52.9 %.
+  EXPECT_NEAR(p.mpk.exec_overhead(1.0), 0.352, 0.01);
+  EXPECT_NEAR(p.sfi.exec_overhead(1.0), 0.529, 0.01);
+  // Disk-IO is ~25 % CPU: MPK 7.3 %, SFI 29.4 %.
+  EXPECT_NEAR(p.mpk.exec_overhead(0.25), 0.073, 0.01);
+  EXPECT_NEAR(p.sfi.exec_overhead(0.25), 0.294, 0.01);
+}
+
+TEST(ParamsTest, IsolationOverheadNeverNegative) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    EXPECT_GE(p.mpk.exec_overhead(f), 0.0);
+    EXPECT_GE(p.sfi.exec_overhead(f), 0.0);
+  }
+}
+
+TEST(ParamsTest, IsolationStartupMatchesTable1) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_DOUBLE_EQ(p.mpk.startup_ms, 0.2);
+  EXPECT_DOUBLE_EQ(p.mpk.interaction_ms, 0.0);
+  EXPECT_DOUBLE_EQ(p.sfi.startup_ms, 18.0);
+  EXPECT_DOUBLE_EQ(p.sfi.interaction_ms, 8.0);
+}
+
+TEST(ParamsTest, ThreadContentionGrowsSuperlinearly) {
+  const RuntimeParams& p = RuntimeParams::defaults();
+  EXPECT_DOUBLE_EQ(p.thread_contention(1), 1.0);
+  EXPECT_GT(p.thread_contention(2), 1.0);
+  // Marginal cost grows with thread count (exponent > 1).
+  const double d5 = p.thread_contention(5) - p.thread_contention(4);
+  const double d50 = p.thread_contention(50) - p.thread_contention(49);
+  EXPECT_GT(d50, d5);
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,111 @@
+#include "runtime/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+const RuntimeParams& P() { return RuntimeParams::defaults(); }
+
+TEST(MemoryModelTest, SingleProcessSandbox) {
+  const MemMb mem = sandbox_memory_mb(P(), 1, 0, 0, 10.0);
+  EXPECT_DOUBLE_EQ(mem, P().sandbox_base_mb + P().runtime_mb + 10.0);
+}
+
+TEST(MemoryModelTest, ExtraProcessesAddInterpreterCopies) {
+  const MemMb one = sandbox_memory_mb(P(), 1, 0, 0, 0.0);
+  const MemMb five = sandbox_memory_mb(P(), 5, 0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(five - one, 4.0 * P().per_process_mb);
+}
+
+TEST(MemoryModelTest, ThreadsAreMuchCheaperThanProcesses) {
+  const MemMb threads = sandbox_memory_mb(P(), 1, 10, 0, 0.0) -
+                        sandbox_memory_mb(P(), 1, 0, 0, 0.0);
+  const MemMb procs = sandbox_memory_mb(P(), 11, 0, 0, 0.0) -
+                      sandbox_memory_mb(P(), 1, 0, 0, 0.0);
+  EXPECT_LT(threads, procs / 5.0);
+}
+
+TEST(MemoryModelTest, PoolWorkersAreHeavy) {
+  const MemMb pool = sandbox_memory_mb(P(), 1, 0, 10, 0.0) -
+                     sandbox_memory_mb(P(), 1, 0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(pool, 10.0 * P().pool_worker_mb);
+  // "Long-running processes consume more than 5x memory" (§6.3).
+  EXPECT_GT(P().pool_worker_mb, 5.0 * P().per_thread_mb);
+}
+
+TEST(CostModelTest, ZeroUsageCostsOnlyTransitions) {
+  ResourceUsage usage;
+  EXPECT_DOUBLE_EQ(cost_per_request_usd(P(), usage, 100.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cost_per_request_usd(P(), usage, 100.0, 4),
+                   4 * P().usd_per_state_transition);
+}
+
+TEST(CostModelTest, CostScalesWithLatency) {
+  ResourceUsage usage;
+  usage.memory_mb = 1024.0;
+  usage.cpus = 2.0;
+  const double c1 = cost_per_request_usd(P(), usage, 100.0, 0);
+  const double c2 = cost_per_request_usd(P(), usage, 200.0, 0);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-12);
+}
+
+TEST(CostModelTest, KnownValue) {
+  ResourceUsage usage;
+  usage.memory_mb = 1024.0;  // 1 GB
+  usage.cpus = 1.0;
+  // 1 s of 1 GB + 1 s of 2.1 GHz.
+  const double c = cost_per_request_usd(P(), usage, 1000.0, 0);
+  EXPECT_NEAR(c, 0.0000025 + 2.1 * 0.00001, 1e-12);
+}
+
+TEST(CostModelTest, RejectsNegativeLatency) {
+  ResourceUsage usage;
+  EXPECT_THROW(cost_per_request_usd(P(), usage, -1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(ThroughputTest, ScalesInverselyWithResources) {
+  ResourceUsage small;
+  small.memory_mb = 100.0;
+  small.cpus = 1.0;
+  ResourceUsage big = small;
+  big.cpus = 4.0;
+  const double t_small = node_throughput_rps(P(), small, 100.0);
+  const double t_big = node_throughput_rps(P(), big, 100.0);
+  EXPECT_NEAR(t_small, 4.0 * t_big, 1e-6);
+}
+
+TEST(ThroughputTest, MemoryCanBeTheBindingResource) {
+  ResourceUsage usage;
+  usage.cpus = 1.0;
+  usage.memory_mb = P().node_memory_mb;  // one instance fills the node
+  EXPECT_NEAR(node_throughput_rps(P(), usage, 1000.0), 1.0, 1e-9);
+}
+
+TEST(ThroughputTest, ZeroCasesAreSafe) {
+  ResourceUsage usage;
+  EXPECT_DOUBLE_EQ(node_throughput_rps(P(), usage, 100.0), 0.0);
+  usage.cpus = 1.0;
+  usage.memory_mb = 10.0;
+  EXPECT_DOUBLE_EQ(node_throughput_rps(P(), usage, 0.0), 0.0);
+}
+
+TEST(ResourceUsageTest, AccumulatesComponentwise) {
+  ResourceUsage a;
+  a.memory_mb = 10.0;
+  a.cpus = 1.0;
+  a.sandboxes = 1;
+  ResourceUsage b;
+  b.memory_mb = 5.0;
+  b.cpus = 2.0;
+  b.processes = 3;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.memory_mb, 15.0);
+  EXPECT_DOUBLE_EQ(a.cpus, 3.0);
+  EXPECT_EQ(a.sandboxes, 1u);
+  EXPECT_EQ(a.processes, 3u);
+}
+
+}  // namespace
+}  // namespace chiron

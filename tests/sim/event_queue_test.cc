@@ -1,0 +1,75 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace chiron {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, SameTimeEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] {
+      ++fired;
+      q.schedule_in(1.0, [&] { ++fired; });
+    });
+  });
+  q.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEventsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  TimeMs seen = -1.0;
+  q.schedule(4.0, [&] { q.schedule_in(2.0, [&] { seen = q.now(); }); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 6.0);
+}
+
+}  // namespace
+}  // namespace chiron

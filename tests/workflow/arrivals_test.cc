@@ -1,0 +1,56 @@
+#include "workflow/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace chiron {
+namespace {
+
+TEST(ArrivalsTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(ArrivalGenerator(ArrivalKind::kPoisson, 0.0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ArrivalsTest, PoissonRateIsApproximatelyRight) {
+  ArrivalGenerator gen(ArrivalKind::kPoisson, 100.0, Rng(2));
+  const auto arrivals = gen.generate(100000.0);  // 100 s
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 400.0);
+}
+
+TEST(ArrivalsTest, ArrivalsAreSortedAndInHorizon) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kUniform, ArrivalKind::kBurst}) {
+    ArrivalGenerator gen(kind, 50.0, Rng(3));
+    const auto arrivals = gen.generate(5000.0);
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+    for (TimeMs t : arrivals) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LT(t, 5000.0);
+    }
+  }
+}
+
+TEST(ArrivalsTest, UniformIsEvenlySpaced) {
+  ArrivalGenerator gen(ArrivalKind::kUniform, 10.0, Rng(4));
+  const auto arrivals = gen.generate(1000.0);
+  ASSERT_GE(arrivals.size(), 2u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i] - arrivals[i - 1], 100.0, 1e-6);
+  }
+}
+
+TEST(ArrivalsTest, BurstsClump) {
+  ArrivalGenerator gen(ArrivalKind::kBurst, 100.0, Rng(5));
+  const auto arrivals = gen.generate(10000.0);
+  ASSERT_GT(arrivals.size(), 10u);
+  // At least some consecutive gaps are the intra-burst 0.1 ms.
+  int tight = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] - arrivals[i - 1] < 0.2) ++tight;
+  }
+  EXPECT_GT(tight, static_cast<int>(arrivals.size()) / 2);
+}
+
+}  // namespace
+}  // namespace chiron

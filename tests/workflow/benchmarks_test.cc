@@ -1,0 +1,95 @@
+#include "workflow/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+// Structural parameters straight from the paper's benchmark table (§6).
+TEST(BenchmarksTest, SocialNetworkShape) {
+  const Workflow wf = make_social_network();
+  EXPECT_EQ(wf.stage_count(), 4u);
+  EXPECT_EQ(wf.function_count(), 10u);
+  EXPECT_EQ(wf.max_parallelism(), 5u);
+  EXPECT_NO_THROW(wf.validate());
+}
+
+TEST(BenchmarksTest, MovieReviewingShape) {
+  const Workflow wf = make_movie_reviewing();
+  EXPECT_EQ(wf.stage_count(), 4u);
+  EXPECT_EQ(wf.function_count(), 9u);
+  EXPECT_EQ(wf.max_parallelism(), 4u);
+}
+
+TEST(BenchmarksTest, SlappShape) {
+  const Workflow wf = make_slapp();
+  EXPECT_EQ(wf.stage_count(), 2u);
+  EXPECT_EQ(wf.function_count(), 7u);
+  EXPECT_EQ(wf.max_parallelism(), 4u);
+  // "There is no sequential function in SLApp."
+  for (const Stage& s : wf.stages()) EXPECT_GT(s.parallelism(), 1u);
+}
+
+TEST(BenchmarksTest, SlappFunctionsHaveSimilarLatency) {
+  const Workflow wf = make_slapp();
+  TimeMs lo = 1e9, hi = 0.0;
+  for (const FunctionSpec& f : wf.functions()) {
+    lo = std::min(lo, f.behavior.solo_latency());
+    hi = std::max(hi, f.behavior.solo_latency());
+  }
+  EXPECT_LT(hi / lo, 1.35);  // similar solo latencies across workload types
+}
+
+TEST(BenchmarksTest, SlappVShape) {
+  const Workflow wf = make_slapp_v();
+  EXPECT_EQ(wf.stage_count(), 5u);
+  EXPECT_EQ(wf.function_count(), 10u);
+  EXPECT_EQ(wf.max_parallelism(), 5u);
+}
+
+class FinraShape : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FinraShape, HasTwoStagesAndNRules) {
+  const std::size_t n = GetParam();
+  const Workflow wf = make_finra(n);
+  EXPECT_EQ(wf.stage_count(), 2u);
+  EXPECT_EQ(wf.function_count(), 2u + n);
+  EXPECT_EQ(wf.max_parallelism(), std::max<std::size_t>(n, 2));
+  EXPECT_EQ(wf.name(), "FINRA-" + std::to_string(n));
+  // Rules are CPU-bound and within the calibrated 2-4 ms band.
+  for (std::size_t i = 2; i < wf.function_count(); ++i) {
+    const auto& b = wf.function(static_cast<FunctionId>(i)).behavior;
+    EXPECT_DOUBLE_EQ(b.total_block(), 0.0);
+    EXPECT_GE(b.total_cpu(), 2.0);
+    EXPECT_LE(b.total_cpu(), 4.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FinraShape,
+                         ::testing::Values(1, 5, 25, 50, 100, 200));
+
+TEST(BenchmarksTest, FinraIsDeterministic) {
+  const Workflow a = make_finra(50);
+  const Workflow b = make_finra(50);
+  for (std::size_t i = 0; i < a.function_count(); ++i) {
+    EXPECT_EQ(a.function(i).behavior, b.function(i).behavior);
+  }
+}
+
+TEST(BenchmarksTest, AsJavaRetargetsRuntime) {
+  const Workflow wf = as_java(make_slapp());
+  for (const FunctionSpec& f : wf.functions()) {
+    EXPECT_EQ(f.runtime, Runtime::kJava);
+  }
+  EXPECT_EQ(wf.stage_count(), make_slapp().stage_count());
+}
+
+TEST(BenchmarksTest, EvaluationSuiteHasEightWorkflows) {
+  const auto suite = evaluation_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0].name(), "SocialNetwork");
+  EXPECT_EQ(suite[7].name(), "FINRA-200");
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,80 @@
+#include "workflow/branching.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+BranchingWorkflow tiny(double p0 = 0.4) {
+  std::vector<FunctionSpec> fns(4);
+  fns[0] = {.name = "entry", .behavior = cpu_bound(1.0)};
+  fns[1] = {.name = "fast", .behavior = cpu_bound(2.0)};
+  fns[2] = {.name = "slow", .behavior = cpu_bound(20.0)};
+  fns[3] = {.name = "exit", .behavior = cpu_bound(0.5)};
+  Branch a{"fast", p0, {{{1}}}};
+  Branch b{"slow", 1.0 - p0, {{{2}}}};
+  return BranchingWorkflow("tiny", std::move(fns), {{{0}}}, {a, b}, {{{3}}});
+}
+
+TEST(BranchingTest, ResolvesEachBranch) {
+  const BranchingWorkflow wf = tiny();
+  ASSERT_EQ(wf.branch_count(), 2u);
+  const Workflow fast = wf.resolve(0);
+  EXPECT_EQ(fast.name(), "tiny/fast");
+  EXPECT_EQ(fast.stage_count(), 3u);
+  EXPECT_EQ(fast.function_count(), 3u);  // entry, fast, exit
+  EXPECT_NO_THROW(fast.validate());
+  const Workflow slow = wf.resolve(1);
+  EXPECT_EQ(slow.function_count(), 3u);
+  EXPECT_NEAR(slow.ideal_latency(), 21.5, 1e-9);
+}
+
+TEST(BranchingTest, RemapsFunctionIds) {
+  const Workflow slow = tiny().resolve(1);
+  // The unused 'fast' function is dropped; ids are dense and valid.
+  for (const Stage& s : slow.stages()) {
+    for (FunctionId f : s.functions) {
+      EXPECT_LT(f, slow.function_count());
+    }
+  }
+  // Function names survive the remap.
+  EXPECT_EQ(slow.function(slow.stage(1).functions[0]).name, "slow");
+}
+
+TEST(BranchingTest, ExpectedWeighting) {
+  const BranchingWorkflow wf = tiny(0.25);
+  EXPECT_NEAR(wf.expected({10.0, 30.0}), 0.25 * 10.0 + 0.75 * 30.0, 1e-12);
+  EXPECT_THROW(wf.expected({1.0}), std::invalid_argument);
+}
+
+TEST(BranchingTest, ValidatesProbabilities) {
+  std::vector<FunctionSpec> fns(2);
+  fns[0] = {.name = "a", .behavior = cpu_bound(1.0)};
+  fns[1] = {.name = "b", .behavior = cpu_bound(1.0)};
+  Branch only{"only", 0.5, {{{1}}}};  // does not sum to 1
+  EXPECT_THROW(
+      BranchingWorkflow("bad", fns, {{{0}}}, {only}, {}),
+      std::invalid_argument);
+  EXPECT_THROW(BranchingWorkflow("bad", fns, {{{0}}}, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(BranchingTest, VideoFfmpegShape) {
+  const BranchingWorkflow wf = make_video_ffmpeg(0.35);
+  ASSERT_EQ(wf.branch_count(), 2u);
+  EXPECT_NEAR(wf.branch(0).probability + wf.branch(1).probability, 1.0,
+              1e-12);
+  const Workflow split = wf.resolve(0);
+  const Workflow simple = wf.resolve(1);
+  // Split path: upload, probe, split, 4 encoders, merge, respond.
+  EXPECT_EQ(split.function_count(), 9u);
+  EXPECT_EQ(split.max_parallelism(), 4u);
+  // Simple path: upload, probe, simple_process, respond.
+  EXPECT_EQ(simple.function_count(), 4u);
+  EXPECT_EQ(simple.max_parallelism(), 1u);
+  // The parallel path is the slow one — that is why it exists.
+  EXPECT_GT(split.total_solo_latency(), simple.total_solo_latency());
+}
+
+}  // namespace
+}  // namespace chiron

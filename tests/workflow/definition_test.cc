@@ -1,0 +1,132 @@
+#include "workflow/definition.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+const char* kValid = R"JSON({
+  "name": "demo",
+  "slo_ms": 55,
+  "runtime": "python3",
+  "stages": [["a"], ["b", "c"]],
+  "functions": {
+    "a": { "kind": "network", "cpu_ms": 2, "block_ms": 10, "output_kb": 4 },
+    "b": { "kind": "cpu", "cpu_ms": 8, "memory_mb": 5 },
+    "c": { "kind": "disk", "cpu_ms": 3, "block_ms": 9, "blocks": 3,
+           "files": ["x.txt"], "tag": "py3.9" }
+  }
+})JSON";
+
+TEST(DefinitionTest, ParsesValidDefinition) {
+  const WorkflowDefinition def = parse_workflow_definition(kValid);
+  EXPECT_EQ(def.workflow.name(), "demo");
+  EXPECT_DOUBLE_EQ(def.slo_ms, 55.0);
+  EXPECT_EQ(def.workflow.stage_count(), 2u);
+  EXPECT_EQ(def.workflow.function_count(), 3u);
+  EXPECT_NO_THROW(def.workflow.validate());
+}
+
+TEST(DefinitionTest, BehavioursMatchKinds) {
+  const WorkflowDefinition def = parse_workflow_definition(kValid);
+  const Workflow& wf = def.workflow;
+  // Resolve by name (parse order is lexicographic).
+  for (const FunctionSpec& f : wf.functions()) {
+    if (f.name == "a") {
+      EXPECT_NEAR(f.behavior.total_cpu(), 2.0, 1e-9);
+      EXPECT_NEAR(f.behavior.total_block(), 10.0, 1e-9);
+      EXPECT_EQ(f.output_bytes, 4_KB);
+    } else if (f.name == "b") {
+      EXPECT_NEAR(f.behavior.total_cpu(), 8.0, 1e-9);
+      EXPECT_DOUBLE_EQ(f.behavior.total_block(), 0.0);
+      EXPECT_DOUBLE_EQ(f.memory_mb, 5.0);
+    } else if (f.name == "c") {
+      EXPECT_EQ(f.behavior.block_periods().size(), 3u);
+      ASSERT_EQ(f.files_written.size(), 1u);
+      EXPECT_EQ(f.files_written[0], "x.txt");
+      EXPECT_EQ(f.runtime_tag, "py3.9");
+    }
+  }
+}
+
+TEST(DefinitionTest, SegmentsOverrideKind) {
+  const WorkflowDefinition def = parse_workflow_definition(R"({
+    "stages": [["f"]],
+    "functions": { "f": { "segments": [1.0, 2.0, 3.0] } }
+  })");
+  const auto& b = def.workflow.function(0).behavior;
+  EXPECT_DOUBLE_EQ(b.total_cpu(), 4.0);
+  EXPECT_DOUBLE_EQ(b.total_block(), 2.0);
+}
+
+TEST(DefinitionTest, JavaRuntimePropagates) {
+  const WorkflowDefinition def = parse_workflow_definition(R"({
+    "runtime": "java",
+    "stages": [["f"]],
+    "functions": { "f": { "cpu_ms": 2 } }
+  })");
+  EXPECT_EQ(def.workflow.function(0).runtime, Runtime::kJava);
+  EXPECT_EQ(def.workflow.function(0).runtime_tag, "java17");
+}
+
+TEST(DefinitionTest, RejectsUnknownStageFunction) {
+  EXPECT_THROW(parse_workflow_definition(R"({
+    "stages": [["ghost"]],
+    "functions": { "f": { "cpu_ms": 1 } }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(DefinitionTest, RejectsUnknownKind) {
+  EXPECT_THROW(parse_workflow_definition(R"({
+    "stages": [["f"]],
+    "functions": { "f": { "kind": "gpu", "cpu_ms": 1 } }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(DefinitionTest, RejectsCpuKindWithBlock) {
+  EXPECT_THROW(parse_workflow_definition(R"({
+    "stages": [["f"]],
+    "functions": { "f": { "kind": "cpu", "cpu_ms": 1, "block_ms": 5 } }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(DefinitionTest, RejectsUnknownRuntime) {
+  EXPECT_THROW(parse_workflow_definition(R"({
+    "runtime": "fortran",
+    "stages": [["f"]],
+    "functions": { "f": { "cpu_ms": 1 } }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(DefinitionTest, RejectsUnassignedFunction) {
+  // Workflow validation catches functions not referenced by any stage.
+  EXPECT_THROW(parse_workflow_definition(R"({
+    "stages": [["a"]],
+    "functions": { "a": { "cpu_ms": 1 }, "orphan": { "cpu_ms": 1 } }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(DefinitionTest, SerializeParseRoundTrip) {
+  const WorkflowDefinition original = parse_workflow_definition(kValid);
+  const std::string serialized =
+      serialize_workflow_definition(original.workflow, original.slo_ms);
+  const WorkflowDefinition again = parse_workflow_definition(serialized);
+  EXPECT_EQ(again.workflow.name(), original.workflow.name());
+  EXPECT_DOUBLE_EQ(again.slo_ms, original.slo_ms);
+  EXPECT_EQ(again.workflow.function_count(),
+            original.workflow.function_count());
+  EXPECT_EQ(again.workflow.stage_count(), original.workflow.stage_count());
+  // Behaviour totals survive the round trip.
+  for (std::size_t i = 0; i < again.workflow.function_count(); ++i) {
+    EXPECT_NEAR(again.workflow.function(i).behavior.solo_latency(),
+                original.workflow.function(i).behavior.solo_latency(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace chiron

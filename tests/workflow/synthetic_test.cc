@@ -1,0 +1,92 @@
+#include "workflow/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron {
+namespace {
+
+TEST(SyntheticTest, RespectsStructuralBounds) {
+  SyntheticSpec spec;
+  spec.min_stages = 3;
+  spec.max_stages = 5;
+  spec.min_parallelism = 2;
+  spec.max_parallelism = 7;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const Workflow wf = make_synthetic_workflow(spec, rng);
+    EXPECT_GE(wf.stage_count(), 3u);
+    EXPECT_LE(wf.stage_count(), 5u);
+    for (const Stage& s : wf.stages()) {
+      EXPECT_GE(s.parallelism(), 2u);
+      EXPECT_LE(s.parallelism(), 7u);
+    }
+    EXPECT_NO_THROW(wf.validate());
+  }
+}
+
+TEST(SyntheticTest, LatenciesWithinRange) {
+  SyntheticSpec spec;
+  spec.min_latency_ms = 2.0;
+  spec.max_latency_ms = 10.0;
+  Rng rng(2);
+  const Workflow wf = make_synthetic_workflow(spec, rng);
+  for (const FunctionSpec& f : wf.functions()) {
+    EXPECT_GE(f.behavior.solo_latency(), 2.0 - 1e-6);
+    EXPECT_LE(f.behavior.solo_latency(), 10.0 + 1e-6);
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticSpec spec;
+  Rng a(42), b(42);
+  const Workflow wa = make_synthetic_workflow(spec, a);
+  const Workflow wb = make_synthetic_workflow(spec, b);
+  ASSERT_EQ(wa.function_count(), wb.function_count());
+  for (std::size_t i = 0; i < wa.function_count(); ++i) {
+    EXPECT_EQ(wa.function(i).behavior, wb.function(i).behavior);
+  }
+}
+
+TEST(SyntheticTest, PureCpuMixWhenWeighted) {
+  SyntheticSpec spec;
+  spec.cpu_weight = 1.0;
+  spec.network_weight = 0.0;
+  spec.disk_weight = 0.0;
+  Rng rng(3);
+  const Workflow wf = make_synthetic_workflow(spec, rng);
+  for (const FunctionSpec& f : wf.functions()) {
+    EXPECT_DOUBLE_EQ(f.behavior.total_block(), 0.0);
+  }
+}
+
+TEST(SyntheticTest, ConflictKnobsProduceConflicts) {
+  SyntheticSpec spec;
+  spec.max_parallelism = 10;
+  spec.file_writer_probability = 1.0;
+  spec.conflict_tag_probability = 0.5;
+  Rng rng(4);
+  const Workflow wf = make_synthetic_workflow(spec, rng);
+  std::size_t writers = 0, off_tag = 0;
+  for (const FunctionSpec& f : wf.functions()) {
+    writers += f.files_written.size();
+    off_tag += f.runtime_tag == "py2.7" ? 1 : 0;
+  }
+  EXPECT_EQ(writers, wf.function_count());
+  EXPECT_GT(off_tag, 0u);
+}
+
+TEST(SyntheticTest, RejectsBadSpecs) {
+  Rng rng(5);
+  SyntheticSpec bad;
+  bad.min_stages = 0;
+  EXPECT_THROW(make_synthetic_workflow(bad, rng), std::invalid_argument);
+  bad = SyntheticSpec{};
+  bad.max_parallelism = 0;
+  EXPECT_THROW(make_synthetic_workflow(bad, rng), std::invalid_argument);
+  bad = SyntheticSpec{};
+  bad.cpu_weight = bad.network_weight = bad.disk_weight = 0.0;
+  EXPECT_THROW(make_synthetic_workflow(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron

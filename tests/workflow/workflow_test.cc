@@ -1,0 +1,68 @@
+#include "workflow/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chiron {
+namespace {
+
+FunctionSpec fn(const std::string& name, TimeMs cpu) {
+  FunctionSpec spec;
+  spec.name = name;
+  spec.behavior = cpu_bound(cpu);
+  return spec;
+}
+
+Workflow make_simple() {
+  return Workflow("test", {fn("a", 1.0), fn("b", 2.0), fn("c", 3.0)},
+                  {{{0}}, {{1, 2}}});
+}
+
+TEST(WorkflowTest, BasicAccessors) {
+  const Workflow wf = make_simple();
+  EXPECT_EQ(wf.name(), "test");
+  EXPECT_EQ(wf.function_count(), 3u);
+  EXPECT_EQ(wf.stage_count(), 2u);
+  EXPECT_EQ(wf.max_parallelism(), 2u);
+  EXPECT_EQ(wf.function(1).name, "b");
+}
+
+TEST(WorkflowTest, StageOf) {
+  const Workflow wf = make_simple();
+  EXPECT_EQ(wf.stage_of(0), 0u);
+  EXPECT_EQ(wf.stage_of(1), 1u);
+  EXPECT_EQ(wf.stage_of(2), 1u);
+  EXPECT_THROW(wf.stage_of(99), std::out_of_range);
+}
+
+TEST(WorkflowTest, LatencyAggregates) {
+  const Workflow wf = make_simple();
+  EXPECT_DOUBLE_EQ(wf.total_solo_latency(), 6.0);
+  // Stage 0 slowest = 1.0, stage 1 slowest = 3.0.
+  EXPECT_DOUBLE_EQ(wf.ideal_latency(), 4.0);
+}
+
+TEST(WorkflowValidationTest, RejectsEmptyStages) {
+  EXPECT_THROW(Workflow("bad", {fn("a", 1.0)}, {}), std::invalid_argument);
+  EXPECT_THROW(Workflow("bad", {fn("a", 1.0)}, {{{0}}, {{}}}),
+               std::invalid_argument);
+}
+
+TEST(WorkflowValidationTest, RejectsUnknownFunction) {
+  EXPECT_THROW(Workflow("bad", {fn("a", 1.0)}, {{{0, 1}}}),
+               std::invalid_argument);
+}
+
+TEST(WorkflowValidationTest, RejectsDuplicateAssignment) {
+  EXPECT_THROW(Workflow("bad", {fn("a", 1.0), fn("b", 1.0)}, {{{0}}, {{0, 1}}}),
+               std::invalid_argument);
+}
+
+TEST(WorkflowValidationTest, RejectsUnassignedFunction) {
+  EXPECT_THROW(Workflow("bad", {fn("a", 1.0), fn("b", 1.0)}, {{{0}}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron
