@@ -3,7 +3,12 @@
 // deployable artifacts (stack.yml + per-wrap handlers).
 //
 //   $ ./examples/chironctl my_workflow.json [--slo 60] [--mode native]
-//                          [--emit out_dir]
+//                          [--emit out_dir] [--trace out.json] [--metrics]
+//
+// --trace records the deploy pipeline (profile / PGP iterations / KL /
+// CPU minimisation / codegen) as Chrome trace-event JSON — open it in
+// Perfetto or chrome://tracing. --metrics dumps the metrics registry in
+// Prometheus text format after the run.
 //
 // Run without arguments to see a demo on a built-in definition.
 #include <filesystem>
@@ -12,9 +17,12 @@
 #include <sstream>
 #include <string>
 
+#include "common/log.h"
 #include "common/table.h"
 #include "core/chiron.h"
 #include "core/plan_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workflow/definition.h"
 
 using namespace chiron;
@@ -57,6 +65,8 @@ int main(int argc, char** argv) {
   TimeMs slo_override = 0.0;
   IsolationMode mode = IsolationMode::kNative;
   std::string emit_dir;
+  std::string trace_path;
+  bool dump_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +76,14 @@ int main(int argc, char** argv) {
       mode = parse_mode(argv[++i]);
     } else if (arg == "--emit" && i + 1 < argc) {
       emit_dir = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--slo" || arg == "--mode" || arg == "--emit" ||
+               arg == "--trace") {
+      std::cerr << arg << " requires a value\n";
+      return 2;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
@@ -96,6 +114,11 @@ int main(int argc, char** argv) {
             << def.workflow.stage_count() << " stages, "
             << def.workflow.function_count() << " functions, SLO " << slo
             << " ms, mode " << to_string(mode) << "\n\n";
+
+  if (!trace_path.empty()) {
+    set_log_level(LogLevel::kInfo);  // surface the "trace written" line
+    obs::Tracer::global().set_enabled(true);
+  }
 
   ChironConfig config;
   config.mode = mode;
@@ -138,6 +161,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "artifacts written to " << root
               << " (stack.yml, plan.json, deployment.dot, wraps/)\n";
+  }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::global().write(trace_path);
+  }
+  if (dump_metrics) {
+    std::cout << "\n" << obs::MetricsRegistry::global().to_prometheus();
   }
   return d.slo_met ? 0 : 3;
 }

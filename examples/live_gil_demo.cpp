@@ -3,16 +3,37 @@
 // against Algorithm 1's prediction — the cross-validation behind the
 // Predictor's credibility.
 //
-//   $ ./examples/live_gil_demo
+//   $ ./examples/live_gil_demo [--trace out.json]
+//
+// --trace records every live run as Chrome trace-event JSON: per-task
+// cpu/block/gil-wait spans plus one serialized "interpreter" track of GIL
+// holds per scenario — Fig. 5, live, viewable in Perfetto.
 #include <iostream>
+#include <string>
 
+#include "common/log.h"
 #include "common/table.h"
 #include "exec/engine.h"
+#include "obs/trace.h"
 #include "runtime/gil.h"
 
 using namespace chiron;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: live_gil_demo [--trace out.json]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    set_log_level(LogLevel::kInfo);
+    obs::Tracer::global().set_enabled(true);
+  }
   std::cout << "spin kernel calibration: "
             << static_cast<long>(spin_iterations_per_ms())
             << " iterations/ms\n\n";
@@ -46,6 +67,9 @@ int main() {
         .add_unit(free_run, "ms");
   }
   table.print(std::cout);
+  if (!trace_path.empty()) {
+    obs::Tracer::global().write(trace_path);
+  }
   std::cout << "\nUnder the GIL, CPU-bound threads serialise exactly as "
                "Algorithm 1 predicts;\nblocking threads overlap. (On a "
                "single-core machine the free-running case\nserialises too — "

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper: configure, build, and run the full ctest
+# suite. With --tsan, additionally build a ThreadSanitizer preset
+# (-DCHIRON_SANITIZE=thread, separate build dir) and repeat the
+# concurrency-sensitive subset — the live-thread engine, the local runner,
+# the emulated GIL, and the new tracer/metrics layer.
+#
+#   scripts/check.sh            # plain tier-1
+#   scripts/check.sh --tsan     # tier-1 + sanitized concurrency subset
+#
+# Env overrides: BUILD_DIR (default build), TSAN_BUILD_DIR (build-tsan),
+# JOBS (nproc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+echo "== tier-1: configure + build (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  echo "== tsan: configure + build (${TSAN_BUILD_DIR}) =="
+  cmake -B "${TSAN_BUILD_DIR}" -S . -DCHIRON_SANITIZE=thread >/dev/null
+  cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
+  echo "== tsan: concurrency-sensitive subset =="
+  ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation'
+fi
+
+echo "== check.sh: all green =="

@@ -1,12 +1,28 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace chiron {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Milliseconds since the first log statement (monotonic clock).
+double uptime_ms() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+/// Small sequential id per logging thread (stable for a thread's life).
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -30,7 +46,10 @@ LogLevel log_level() {
 
 namespace internal {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  // One fprintf call per line so concurrent engine threads cannot
+  // interleave fragments of each other's messages.
+  std::fprintf(stderr, "[%10.3f] [%s] [t%02d] %s\n", uptime_ms(),
+               level_tag(level), thread_log_id(), msg.c_str());
 }
 }  // namespace internal
 

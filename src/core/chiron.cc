@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace chiron {
+namespace {
+
+// Mirrors one deploy's outcome into the global MetricsRegistry so external
+// scrapes (chironctl --metrics) see exactly what the Deployment reports.
+void record_deploy_metrics(const Deployment& d) {
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  m.counter("chiron.deploy.count").inc();
+  m.counter("chiron.deploy.outer_iterations")
+      .inc(static_cast<std::int64_t>(d.stats.outer_iterations));
+  m.counter("chiron.deploy.kl_evaluations")
+      .inc(static_cast<std::int64_t>(d.stats.kl_evaluations));
+  m.counter("chiron.deploy.predictor_calls")
+      .inc(static_cast<std::int64_t>(d.stats.predictor_calls));
+  m.counter(d.slo_met ? "chiron.deploy.slo_met" : "chiron.deploy.slo_missed")
+      .inc();
+  m.gauge("chiron.deploy.processes")
+      .set(static_cast<double>(d.processes));
+  m.histogram("chiron.deploy.predicted_latency_ms")
+      .observe(d.predicted_latency_ms);
+}
+
+}  // namespace
 
 Chiron::Chiron(ChironConfig config)
     : config_(std::move(config)), rng_(config_.seed) {}
@@ -12,13 +37,20 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
   if (slo_ms <= 0.0) throw std::invalid_argument("SLO must be positive");
   wf.validate();
 
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::ScopedSpan deploy_span(tracer, "chiron.deploy", "deploy",
+                              {{"slo_ms", slo_ms}});
+
   Deployment deployment;
 
   // Step 2 (Fig. 9): profile every function solo.
-  Profiler profiler(config_.profiler, rng_.split());
-  deployment.profiles = profiler.profile_workflow(wf);
-  std::vector<FunctionBehavior> behaviors =
-      Profiler::behaviors(deployment.profiles);
+  std::vector<FunctionBehavior> behaviors;
+  {
+    obs::ScopedSpan span(tracer, "profile", "deploy");
+    Profiler profiler(config_.profiler, rng_.split());
+    deployment.profiles = profiler.profile_workflow(wf);
+    behaviors = Profiler::behaviors(deployment.profiles);
+  }
 
   const Runtime runtime =
       wf.function_count() > 0 ? wf.function(0).runtime : Runtime::kPython3;
@@ -26,6 +58,7 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
   if (config_.mode == IsolationMode::kPool) {
     // §4: pool workers give true parallelism with negligible startup, so
     // all functions share a single wrap; only the CPU allocation is tuned.
+    obs::ScopedSpan span(tracer, "pool_plan", "deploy");
     Predictor predictor(
         PredictorConfig{config_.params, runtime, config_.conservative_factor},
         behaviors);
@@ -56,8 +89,19 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
   }
 
   // Steps 4-5: emit the deployable artifacts.
-  deployment.orchestrators = generate_orchestrators(wf, deployment.plan);
-  deployment.stack_yaml = generate_stack_yaml(wf, deployment.plan);
+  {
+    obs::ScopedSpan span(tracer, "codegen", "deploy");
+    deployment.orchestrators = generate_orchestrators(wf, deployment.plan);
+    deployment.stack_yaml = generate_stack_yaml(wf, deployment.plan);
+  }
+
+  record_deploy_metrics(deployment);
+  if (tracer.enabled()) {
+    tracer.instant("deploy.done", "deploy",
+                   {{"predicted_latency_ms", deployment.predicted_latency_ms},
+                    {"slo_met", deployment.slo_met ? 1.0 : 0.0},
+                    {"processes", static_cast<double>(deployment.processes)}});
+  }
   return deployment;
 }
 

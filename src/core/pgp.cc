@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/kernighan_lin.h"
+#include "obs/trace.h"
 
 namespace chiron {
 namespace {
@@ -110,6 +111,9 @@ std::vector<ProcessGroup> PgpScheduler::partition_stage(
   for (std::size_t i = 0; i < fns.size(); ++i) sets[i % k].push_back(fns[i]);
 
   if (config_.use_kl && k > 1 && fns.size() <= config_.kl_function_limit) {
+    obs::ScopedSpan kl_span(obs::Tracer::global(), "pgp.kl_refine", "deploy",
+                            {{"stage", static_cast<double>(s)},
+                             {"processes", static_cast<double>(k)}});
     // KL over every pair of process sets (Algorithm 2 lines 10-11). The
     // evaluation swaps a pair in place and predicts the stage latency with
     // the search-phase wrap layout.
@@ -176,6 +180,9 @@ StagePlan PgpScheduler::layout_stage(StageId s,
 }
 
 PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::ScopedSpan schedule_span(tracer, "pgp.schedule", "deploy",
+                                {{"slo_ms", slo_ms}});
   PgpResult result;
   const std::size_t max_n = std::max<std::size_t>(1, wf_.max_parallelism());
 
@@ -185,6 +192,8 @@ PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
   TimeMs predicted = kInfiniteTime;
   std::size_t chosen_n = max_n;
   for (std::size_t n = 1; n <= max_n; ++n) {
+    obs::ScopedSpan iter_span(tracer, "pgp.outer_iteration", "deploy",
+                              {{"n", static_cast<double>(n)}});
     ++result.stats.outer_iterations;
     WrapPlan candidate;
     candidate.mode = config_.mode;
@@ -221,6 +230,7 @@ PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
   // Packing (lines 13-16): per stage, deploy the fewest wraps (max
   // processes per wrap) that keep the whole workflow inside the target.
   if (result.slo_met) {
+    obs::ScopedSpan pack_span(tracer, "pgp.pack_wraps", "deploy");
     for (StageId s = 0; s < wf_.stage_count(); ++s) {
       const std::size_t group_count = stage_groups[s].size();
       for (std::size_t w = 1; w <= std::max<std::size_t>(1, group_count); ++w) {
@@ -239,6 +249,7 @@ PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
 
   // CPU minimisation: smallest allocation inside the target.
   if (config_.minimize_cpus && result.slo_met) {
+    obs::ScopedSpan cpu_span(tracer, "pgp.min_cpus", "deploy");
     plan = with_min_cpus(predictor_, std::move(plan), target);
     if (plan.cpu_cap > 0) {
       ++result.stats.predictor_calls;

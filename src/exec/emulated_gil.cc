@@ -2,10 +2,19 @@
 
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace chiron {
 
 EmulatedGil::EmulatedGil(TimeMs switch_interval_ms)
     : switch_interval_ms_(switch_interval_ms) {}
+
+void EmulatedGil::enable_tracing(obs::Tracer* tracer,
+                                 const std::string& track_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+  track_ = tracer ? tracer->new_track(track_name, obs::kWallPid) : -1;
+}
 
 void EmulatedGil::acquire() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -14,11 +23,29 @@ void EmulatedGil::acquire() {
   --waiters_;
   held_ = true;
   held_since_ = std::chrono::steady_clock::now();
+  if (tracer_ && tracer_->enabled()) {
+    // Timestamp taken while holding mu_: the previous holder stamped its
+    // release before giving up mu_, so holds on this track never overlap.
+    hold_begin_ms_ = tracer_->now_ms();
+    holder_track_ = tracer_->thread_track();
+  } else {
+    holder_track_ = -1;
+  }
+}
+
+void EmulatedGil::trace_hold_end_locked() {
+  if (holder_track_ < 0 || !tracer_ || !tracer_->enabled()) return;
+  const double now = tracer_->now_ms();
+  tracer_->complete_at("gil.hold", "gil", obs::kWallPid, track_,
+                       hold_begin_ms_, now - hold_begin_ms_,
+                       {{"thread", static_cast<double>(holder_track_)}});
+  holder_track_ = -1;
 }
 
 void EmulatedGil::release() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    trace_hold_end_locked();
     held_ = false;
   }
   cv_.notify_one();

@@ -10,15 +10,27 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 
 #include "common/types.h"
 
 namespace chiron {
 
+namespace obs {
+class Tracer;
+}
+
 /// The emulated GIL.
 class EmulatedGil {
  public:
   explicit EmulatedGil(TimeMs switch_interval_ms);
+
+  /// Records every hold of this GIL as a complete span on a dedicated
+  /// "interpreter" track of `tracer` (one per GIL), so Perfetto shows the
+  /// serialised Fig. 5 interleaving. Hold timestamps are taken inside the
+  /// GIL's own mutex, so spans on one track can never overlap. Call before
+  /// the first acquire.
+  void enable_tracing(obs::Tracer* tracer, const std::string& track_name);
 
   /// Blocks until this thread holds the GIL.
   void acquire();
@@ -37,12 +49,20 @@ class EmulatedGil {
   int waiters();
 
  private:
+  /// Emits the current hold as a trace span; requires mu_ held.
+  void trace_hold_end_locked();
+
   std::mutex mu_;
   std::condition_variable cv_;
   bool held_ = false;
   int waiters_ = 0;
   TimeMs switch_interval_ms_;
   std::chrono::steady_clock::time_point held_since_{};
+
+  obs::Tracer* tracer_ = nullptr;  ///< null unless tracing is enabled
+  int track_ = -1;                 ///< this GIL's interpreter track
+  double hold_begin_ms_ = 0.0;     ///< tracer timestamp of the acquire
+  int holder_track_ = -1;          ///< wall track of the holding thread
 };
 
 }  // namespace chiron

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "exec/emulated_gil.h"
+#include "obs/trace.h"
 
 namespace chiron {
 namespace {
@@ -20,7 +22,9 @@ double now_ms(Clock::time_point origin) {
 }
 
 // Work kernel: data-dependent arithmetic the optimiser cannot elide.
-volatile double g_spin_sink = 0.0;
+// thread_local: every engine thread spins concurrently, and a shared sink
+// would be a (benign but TSan-reported) data race.
+thread_local volatile double g_spin_sink = 0.0;
 
 double spin_chunk(long iterations) {
   double acc = 1.0;
@@ -41,7 +45,10 @@ double spin_iterations_per_ms() {
     g_spin_sink = spin_chunk(probe);
     const double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-    return static_cast<double>(probe) / std::max(ms, 1e-3);
+    const double measured = static_cast<double>(probe) / std::max(ms, 1e-3);
+    CHIRON_LOG(kDebug) << "spin kernel calibrated: "
+                       << static_cast<long>(measured) << " iterations/ms";
+    return measured;
   }();
   return rate;
 }
@@ -86,10 +93,18 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     threads.emplace_back([&, i] {
       const ThreadTask& task = tasks[i];
+      obs::Tracer& tracer = obs::Tracer::global();
+      const bool tracing = tracer.enabled();
+      if (tracing) {
+        tracer.name_thread("task-" + std::to_string(i));
+      }
       if (task.ready_ms > 0.0) {
         std::this_thread::sleep_until(
             origin + std::chrono::duration<double, std::milli>(task.ready_ms));
       }
+      obs::ScopedSpan task_span(tracer, "task", "exec",
+                                {{"task", static_cast<double>(i)},
+                                 {"ready_ms", task.ready_ms}});
       TaskResult r;
       r.ready_ms = task.ready_ms;
       bool started = false;
@@ -104,14 +119,21 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
         }
         if (seg.kind == Segment::Kind::kCpu) {
           if (gil && !holding) {
+            // The wait for the GIL is dead time Fig. 5 renders as gaps
+            // between a thread's CPU spans; make it a span of its own.
+            obs::ScopedSpan wait_span(tracer, "gil.wait", "gil");
             gil->acquire();
             holding = true;
           }
           const TimeMs begin = now_ms(origin);
-          if (gil) {
-            spin_with_gil(seg.duration, *gil);
-          } else {
-            spin_for_ms(seg.duration);
+          {
+            obs::ScopedSpan cpu_span(tracer, "cpu", "exec",
+                                     {{"ms", seg.duration}});
+            if (gil) {
+              spin_with_gil(seg.duration, *gil);
+            } else {
+              spin_for_ms(seg.duration);
+            }
           }
           r.cpu_ms += seg.duration;
           r.spans.push_back(
@@ -120,15 +142,23 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
           if (gil && holding) {
             gil->release();
             holding = false;
+            if (tracing) tracer.instant("gil.release", "gil");
           }
           const TimeMs begin = now_ms(origin);
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(seg.duration));
+          {
+            obs::ScopedSpan block_span(tracer, "block", "exec",
+                                       {{"ms", seg.duration}});
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(seg.duration));
+          }
           r.spans.push_back(
               {TimelineSpan::Kind::kBlock, begin, now_ms(origin)});
         }
       }
-      if (gil && holding) gil->release();
+      if (gil && holding) {
+        gil->release();
+        if (tracing) tracer.instant("gil.release", "gil");
+      }
       r.finish_ms = now_ms(origin);
       if (!started) r.start_ms = r.finish_ms;
       std::lock_guard<std::mutex> lock(result_mu);
@@ -147,6 +177,8 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
 InterleaveResult execute_threads_gil(const std::vector<ThreadTask>& tasks,
                                      TimeMs switch_interval_ms) {
   EmulatedGil gil(switch_interval_ms);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) gil.enable_tracing(&tracer, "interpreter");
   return execute(tasks, &gil);
 }
 

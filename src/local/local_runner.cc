@@ -7,6 +7,7 @@
 
 #include "exec/emulated_gil.h"
 #include "exec/engine.h"
+#include "obs/trace.h"
 
 namespace chiron {
 namespace {
@@ -81,8 +82,14 @@ LocalRunResult LocalDeployment::invoke(const Payload& input) {
   LocalRunResult result;
   std::mutex result_mu;
 
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::ScopedSpan invoke_span(tracer, "local.invoke", "local",
+                              {{"bytes", static_cast<double>(input.size())}});
+
   Payload stage_input = input;
   for (StageId s = 0; s < plan_.stages.size(); ++s) {
+    obs::ScopedSpan stage_span(tracer, "stage", "local",
+                               {{"stage", static_cast<double>(s)}});
     const StagePlan& sp = plan_.stages[s];
     std::vector<std::thread> wrap_threads;
     std::vector<Payload> wrap_outputs(sp.wraps.size());
@@ -108,6 +115,12 @@ LocalRunResult LocalDeployment::invoke(const Payload& input) {
             if (pool || t == 0) {
               gils.push_back(std::make_unique<EmulatedGil>(
                   config_.params.gil_switch_interval_ms * scale));
+              if (tracer.enabled()) {
+                gils.back()->enable_tracing(
+                    &tracer, "interp s" + std::to_string(s) + ".w" +
+                                 std::to_string(w) + "." +
+                                 std::to_string(gils.size() - 1));
+              }
             }
             gil_of[g].push_back(gils.size() - 1);
           }
@@ -142,6 +155,8 @@ LocalRunResult LocalDeployment::invoke(const Payload& input) {
               fr.id = f;
               fr.start_ms = now_ms(origin);
               const FunctionSpec& spec = wf_.function(f);
+              if (tracer.enabled()) tracer.name_thread(spec.name);
+              obs::ScopedSpan fn_span(tracer, "fn:" + spec.name, "local");
               EmulatedGil& gil = *gils[gil_index];
               const auto it = impls_.find(spec.name);
               if (it != impls_.end()) {

@@ -12,6 +12,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds `other` into this accumulator (parallel Welford / Chan et al.
+  /// combine): the result is identical — up to floating-point rounding —
+  /// to having add()ed both sample streams into one accumulator. Lets
+  /// per-thread accumulators be aggregated lock-free at read time.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 with fewer than two samples.

@@ -1,0 +1,264 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "common/log.h"
+
+namespace chiron::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::thread_track_locked() {
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = thread_tracks_.find(self);
+  if (it != thread_tracks_.end()) return it->second;
+  const int tid = next_track_++;
+  thread_tracks_[self] = tid;
+  track_names_[tid] = {kWallPid, "thread-" + std::to_string(tid)};
+  return tid;
+}
+
+int Tracer::thread_track() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_track_locked();
+}
+
+void Tracer::name_thread(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int tid = thread_track_locked();
+  track_names_[tid] = {kWallPid, name};
+}
+
+int Tracer::new_track(const std::string& name, int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int tid = next_track_++;
+  track_names_[tid] = {pid, name};
+  return tid;
+}
+
+void Tracer::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::begin(const std::string& name, const std::string& category,
+                   std::vector<std::pair<std::string, double>> num_args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'B';
+  ev.pid = kWallPid;
+  ev.ts_us = now_ms() * 1000.0;
+  ev.num_args = std::move(num_args);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = thread_track_locked();
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::end(const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'E';
+  ev.pid = kWallPid;
+  ev.ts_us = now_ms() * 1000.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = thread_track_locked();
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(const std::string& name, const std::string& category,
+                     std::vector<std::pair<std::string, double>> num_args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.pid = kWallPid;
+  ev.ts_us = now_ms() * 1000.0;
+  ev.num_args = std::move(num_args);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = thread_track_locked();
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete_at(const std::string& name, const std::string& category,
+                         int pid, int tid, double ts_ms, double dur_ms,
+                         std::vector<std::pair<std::string, double>> num_args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_ms * 1000.0;
+  ev.dur_us = dur_ms * 1000.0;
+  ev.num_args = std::move(num_args);
+  record(std::move(ev));
+}
+
+void Tracer::instant_at(const std::string& name, const std::string& category,
+                        int pid, int tid, double ts_ms) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_ms * 1000.0;
+  record(std::move(ev));
+}
+
+void Tracer::counter_at(const std::string& name, double value, int pid,
+                        int tid, double ts_ms) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'C';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_ms * 1000.0;
+  ev.num_args.emplace_back("value", value);
+  record(std::move(ev));
+}
+
+void Tracer::async_begin_at(const std::string& name,
+                            const std::string& category, int pid, int tid,
+                            double ts_ms, std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category.empty() ? "async" : category;
+  ev.phase = 'b';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_ms * 1000.0;
+  ev.id = id;
+  ev.has_id = true;
+  record(std::move(ev));
+}
+
+void Tracer::async_end_at(const std::string& name, const std::string& category,
+                          int pid, int tid, double ts_ms, std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category.empty() ? "async" : category;
+  ev.phase = 'e';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_ms * 1000.0;
+  ev.id = id;
+  ev.has_id = true;
+  record(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+namespace {
+
+json::Value event_to_json(const TraceEvent& ev) {
+  json::Object o;
+  o["name"] = json::Value(ev.name);
+  if (!ev.category.empty()) o["cat"] = json::Value(ev.category);
+  o["ph"] = json::Value(std::string(1, ev.phase));
+  o["pid"] = json::Value(static_cast<double>(ev.pid));
+  o["tid"] = json::Value(static_cast<double>(ev.tid));
+  o["ts"] = json::Value(ev.ts_us);
+  if (ev.phase == 'X') o["dur"] = json::Value(ev.dur_us);
+  if (ev.has_id) o["id"] = json::Value(static_cast<double>(ev.id));
+  if (!ev.num_args.empty() || !ev.str_args.empty()) {
+    json::Object args;
+    for (const auto& [k, v] : ev.num_args) args[k] = json::Value(v);
+    for (const auto& [k, v] : ev.str_args) args[k] = json::Value(v);
+    o["args"] = json::Value(std::move(args));
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value metadata_event(const std::string& name, int pid, int tid,
+                           const std::string& label) {
+  json::Object o;
+  o["name"] = json::Value(name);
+  o["ph"] = json::Value(std::string("M"));
+  o["pid"] = json::Value(static_cast<double>(pid));
+  o["tid"] = json::Value(static_cast<double>(tid));
+  o["ts"] = json::Value(0.0);
+  json::Object args;
+  args["name"] = json::Value(label);
+  o["args"] = json::Value(std::move(args));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value Tracer::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array trace_events;
+  trace_events.reserve(events_.size() + track_names_.size() + 2);
+  trace_events.push_back(
+      metadata_event("process_name", kWallPid, 0, "wall-clock"));
+  trace_events.push_back(
+      metadata_event("process_name", kVirtualPid, 0, "virtual-time"));
+  for (const auto& [tid, named] : track_names_) {
+    trace_events.push_back(
+        metadata_event("thread_name", named.first, tid, named.second));
+  }
+  for (const TraceEvent& ev : events_) {
+    trace_events.push_back(event_to_json(ev));
+  }
+  json::Object root;
+  root["traceEvents"] = json::Value(std::move(trace_events));
+  root["displayTimeUnit"] = json::Value(std::string("ms"));
+  return json::Value(std::move(root));
+}
+
+std::string Tracer::dump() const { return json::dump(to_json()); }
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    CHIRON_LOG(kError) << "tracer: cannot open '" << path << "' for writing";
+    return false;
+  }
+  out << dump();
+  if (!out) {
+    CHIRON_LOG(kError) << "tracer: write to '" << path << "' failed";
+    return false;
+  }
+  CHIRON_LOG(kInfo) << "tracer: wrote " << event_count() << " events to "
+                    << path << " (open in Perfetto / chrome://tracing)";
+  return true;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_tracks_.clear();
+  track_names_.clear();
+  next_track_ = 0;
+}
+
+}  // namespace chiron::obs

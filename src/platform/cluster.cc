@@ -6,7 +6,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/log.h"
 #include "metrics/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace chiron {
@@ -46,12 +49,36 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
   ClusterResult result;
   result.offered = arrival_times.size();
 
+  // Observability sinks: all cluster events carry *simulated* timestamps.
+  obs::Tracer* tracer =
+      config_.tracer && config_.tracer->enabled() ? config_.tracer : nullptr;
+  obs::MetricsRegistry* metrics = config_.metrics;
+  const int request_track =
+      tracer ? tracer->new_track("cluster.requests", obs::kVirtualPid) : 0;
+  obs::Counter* cold_counter =
+      metrics ? &metrics->counter("cluster.cold_starts") : nullptr;
+  obs::Gauge* queue_gauge =
+      metrics ? &metrics->gauge("cluster.queue_depth") : nullptr;
+  obs::Histogram* latency_hist =
+      metrics ? &metrics->histogram("cluster.e2e_latency_ms") : nullptr;
+  std::uint64_t next_request_id = 0;
+
   // Instance states: warm holds the idle-since time of each resident but
   // idle instance.
   std::vector<TimeMs> warm;
   std::size_t live = 0;             // busy + warm instances
   std::size_t busy = 0;
-  std::deque<TimeMs> queue;         // arrival times of waiting requests
+  // Waiting requests: {arrival time, request id}.
+  std::deque<std::pair<TimeMs, std::uint64_t>> queue;
+
+  auto note_queue_depth = [&](TimeMs now) {
+    if (queue_gauge) queue_gauge->set(static_cast<double>(queue.size()));
+    if (tracer) {
+      tracer->counter_at("cluster.queue_depth",
+                         static_cast<double>(queue.size()), obs::kVirtualPid,
+                         0, now);
+    }
+  };
 
   std::vector<double> latencies;
   double busy_area = 0.0;  // integral of busy instances over time
@@ -81,8 +108,8 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
 
   // Forward declaration trick: start_request schedules completion, which
   // may start queued requests.
-  std::function<void(TimeMs, TimeMs)> start_request =
-      [&](TimeMs arrival, TimeMs now) {
+  std::function<void(TimeMs, std::uint64_t, TimeMs)> start_request =
+      [&](TimeMs arrival, std::uint64_t id, TimeMs now) {
         account(now);
         reap(now);
         TimeMs startup = 0.0;
@@ -93,25 +120,37 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
           result.peak_instances = std::max(result.peak_instances, live);
           ++result.cold_starts;
           startup = cold_penalty;
+          if (cold_counter) cold_counter->inc();
+          if (tracer) {
+            tracer->instant_at("cluster.cold_start", "sim", obs::kVirtualPid,
+                               request_track, now);
+          }
         } else {
-          queue.push_back(arrival);
+          queue.emplace_back(arrival, id);
           result.peak_queue = std::max(result.peak_queue, queue.size());
+          note_queue_depth(now);
           return;
         }
         ++busy;
         const TimeMs service = backend.run(run_rng).e2e_latency_ms;
         const TimeMs finish = now + startup + service;
-        events.schedule(finish, [&, arrival, finish] {
+        events.schedule(finish, [&, arrival, id, finish] {
           account(finish);
           --busy;
           latencies.push_back(finish - arrival);
           ++result.completed;
+          if (latency_hist) latency_hist->observe(finish - arrival);
+          if (tracer) {
+            tracer->async_end_at("request", "sim", obs::kVirtualPid,
+                                 request_track, finish, id);
+          }
           if (!queue.empty()) {
-            const TimeMs queued_arrival = queue.front();
+            const auto [queued_arrival, queued_id] = queue.front();
             queue.pop_front();
+            note_queue_depth(finish);
             // The finishing instance is immediately reused (warm).
             warm.push_back(finish);
-            start_request(queued_arrival, finish);
+            start_request(queued_arrival, queued_id, finish);
           } else {
             warm.push_back(finish);
           }
@@ -119,7 +158,14 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       };
 
   for (TimeMs at : arrival_times) {
-    events.schedule(at, [&, at] { start_request(at, at); });
+    const std::uint64_t id = next_request_id++;
+    events.schedule(at, [&, at, id] {
+      if (tracer) {
+        tracer->async_begin_at("request", "sim", obs::kVirtualPid,
+                               request_track, at, id);
+      }
+      start_request(at, id, at);
+    });
   }
   events.run();
 
@@ -134,6 +180,14 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       span > 0.0 ? static_cast<double>(result.completed) / (span / 1000.0)
                  : 0.0;
   result.mean_busy_instances = span > 0.0 ? busy_area / span : 0.0;
+  if (metrics) {
+    metrics->gauge("cluster.peak_instances")
+        .set(static_cast<double>(result.peak_instances));
+  }
+  CHIRON_LOG(kDebug) << "cluster sim: " << result.completed << "/"
+                     << result.offered << " requests, "
+                     << result.cold_starts << " cold starts, peak queue "
+                     << result.peak_queue;
   return result;
 }
 

@@ -16,6 +16,11 @@
 
 namespace chiron {
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}
+
 /// Cluster and load configuration.
 struct ClusterConfig {
   std::size_t nodes = 1;
@@ -27,6 +32,13 @@ struct ClusterConfig {
   ArrivalKind arrivals = ArrivalKind::kPoisson;
   /// Requests abandoned if still queued at the horizon count as failed.
   std::uint64_t seed = 0xC1057E4;
+  /// Optional observability sinks (not owned; null = off). The tracer
+  /// receives *virtual-time* events (pid kVirtualPid): one async span per
+  /// request, cold-start instants, and queue-depth counter samples. The
+  /// registry receives cluster.cold_starts / cluster.queue_depth /
+  /// cluster.e2e_latency_ms, matching the returned ClusterResult.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of one closed-loop run.

@@ -89,5 +89,52 @@ TEST(CdfTest, RejectsEmptySample) {
   EXPECT_THROW(Cdf({}), std::invalid_argument);
 }
 
+TEST(RunningStatsMergeTest, EqualsSingleAccumulator) {
+  // Parallel Welford combine: splitting a stream across accumulators and
+  // merging must reproduce the single-accumulator moments.
+  RunningStats whole, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 3.0 + 0.7 * i - 0.01 * i * i;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsMergeTest, EmptySidesAreIdentity) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(5.0);
+  const double mean = a.mean();
+  a.merge(b);  // merging an empty accumulator changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // merging into an empty accumulator copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 5.0);
+}
+
+TEST(RunningStatsMergeTest, ManyShardsMergeExactly) {
+  // Simulates per-thread shards folded at snapshot time.
+  RunningStats shards[8], whole;
+  for (int i = 0; i < 800; ++i) {
+    const double x = static_cast<double>((i * 37) % 101);
+    shards[i % 8].add(x);
+    whole.add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9);
+}
+
 }  // namespace
 }  // namespace chiron

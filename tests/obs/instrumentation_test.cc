@@ -1,0 +1,221 @@
+// End-to-end checks that the instrumented stack (deploy pipeline, live
+// GIL engine, local runner) emits valid Chrome traces and metrics that
+// agree exactly with the results the APIs return.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/chiron.h"
+#include "exec/engine.h"
+#include "local/local_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/gil.h"
+#include "workflow/behavior.h"
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+// Clears and enables the global tracer for one test, restoring the
+// quiet default afterwards so unrelated tests see no events.
+class GlobalTracerGuard {
+ public:
+  GlobalTracerGuard() {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+  }
+  ~GlobalTracerGuard() {
+    obs::Tracer::global().set_enabled(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+struct ParsedEvent {
+  std::string name;
+  std::string phase;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+std::vector<ParsedEvent> parse_events(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  std::vector<ParsedEvent> events;
+  for (const json::Value& ev : doc.at("traceEvents").as_array()) {
+    ParsedEvent p;
+    p.name = ev.at("name").as_string();
+    p.phase = ev.at("ph").as_string();
+    p.pid = static_cast<int>(ev.at("pid").as_number());
+    p.tid = static_cast<int>(ev.at("tid").as_number());
+    p.ts_us = ev.at("ts").as_number();
+    if (ev.contains("dur")) p.dur_us = ev.at("dur").as_number();
+    events.push_back(std::move(p));
+  }
+  return events;
+}
+
+// Asserts every track's B/E events form balanced, name-matched, LIFO
+// nesting with monotone timestamps. Returns span-begin count per name.
+std::map<std::string, int> check_balanced_spans(
+    const std::vector<ParsedEvent>& events) {
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  std::map<std::string, int> begins;
+  for (const ParsedEvent& ev : events) {
+    if (ev.phase != "B" && ev.phase != "E" && ev.phase != "i") continue;
+    auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ev.ts_us, it->second)
+          << "timestamps not monotone on track " << ev.tid;
+    }
+    last_ts[ev.tid] = ev.ts_us;
+    if (ev.phase == "B") {
+      stacks[ev.tid].push_back(ev.name);
+      ++begins[ev.name];
+    } else if (ev.phase == "E") {
+      if (stacks[ev.tid].empty()) {
+        ADD_FAILURE() << "'E " << ev.name << "' without open span on track "
+                      << ev.tid;
+        continue;
+      }
+      EXPECT_EQ(stacks[ev.tid].back(), ev.name);
+      stacks[ev.tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on track " << tid;
+  }
+  return begins;
+}
+
+// The acceptance check: a live GIL run yields a parseable Chrome trace
+// with balanced nesting and non-overlapping holds on the interpreter
+// track.
+TEST(InstrumentationTest, LiveGilRunProducesValidChromeTrace) {
+  GlobalTracerGuard guard;
+  const std::vector<FunctionBehavior> behaviors = {
+      cpu_bound(8.0), cpu_bound(8.0), alternating({3.0, 5.0, 3.0})};
+  const auto tasks = staggered_tasks(behaviors, 0.2);
+  // A 2 ms switch interval forces several GIL handoffs per CPU segment.
+  const InterleaveResult live = execute_threads_gil(tasks, 2.0);
+  EXPECT_GT(live.makespan, 0.0);
+  obs::Tracer::global().set_enabled(false);
+
+  const std::vector<ParsedEvent> events =
+      parse_events(obs::Tracer::global().dump());
+  ASSERT_FALSE(events.empty());
+  const std::map<std::string, int> begins = check_balanced_spans(events);
+  EXPECT_EQ(begins.count("task"), 1u);
+  EXPECT_GT(begins.at("cpu"), 0);
+  EXPECT_GT(begins.at("gil.wait"), 0);
+
+  // All gil.hold spans live on one (interpreter) track and never overlap:
+  // the emulated GIL admits one holder at a time.
+  std::vector<ParsedEvent> holds;
+  for (const ParsedEvent& ev : events) {
+    if (ev.name == "gil.hold") {
+      EXPECT_EQ(ev.phase, "X");
+      holds.push_back(ev);
+    }
+  }
+  ASSERT_GE(holds.size(), 3u);  // >= one hold per CPU-bearing task
+  for (const ParsedEvent& h : holds) {
+    EXPECT_EQ(h.tid, holds.front().tid);
+    EXPECT_GE(h.dur_us, 0.0);
+  }
+  std::sort(holds.begin(), holds.end(),
+            [](const ParsedEvent& a, const ParsedEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  for (std::size_t i = 1; i < holds.size(); ++i) {
+    EXPECT_GE(holds[i].ts_us,
+              holds[i - 1].ts_us + holds[i - 1].dur_us - 1e-6)
+        << "GIL holds " << i - 1 << " and " << i << " overlap";
+  }
+}
+
+// The acceptance check: counters exported from the global registry match
+// the PgpStats the deploy returned, exactly.
+TEST(InstrumentationTest, DeployMetricsMatchPgpStats) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.reset();
+
+  Chiron manager(ChironConfig{});
+  const Deployment d = manager.deploy(make_social_network(), 200.0);
+  EXPECT_GT(d.stats.predictor_calls, 0u);
+
+  EXPECT_EQ(metrics.counter("chiron.deploy.count").value(), 1);
+  EXPECT_EQ(metrics.counter("chiron.deploy.outer_iterations").value(),
+            static_cast<std::int64_t>(d.stats.outer_iterations));
+  EXPECT_EQ(metrics.counter("chiron.deploy.kl_evaluations").value(),
+            static_cast<std::int64_t>(d.stats.kl_evaluations));
+  EXPECT_EQ(metrics.counter("chiron.deploy.predictor_calls").value(),
+            static_cast<std::int64_t>(d.stats.predictor_calls));
+  EXPECT_EQ(metrics.counter(d.slo_met ? "chiron.deploy.slo_met"
+                                      : "chiron.deploy.slo_missed")
+                .value(),
+            1);
+  const obs::HistogramSnapshot lat =
+      metrics.histogram("chiron.deploy.predicted_latency_ms").snapshot();
+  EXPECT_EQ(lat.count, 1u);
+  EXPECT_DOUBLE_EQ(lat.stats.max(), d.predicted_latency_ms);
+
+  // Counters accumulate across deploys: a second deploy doubles them.
+  manager.deploy(make_social_network(), 200.0);
+  EXPECT_EQ(metrics.counter("chiron.deploy.count").value(), 2);
+  EXPECT_EQ(metrics.counter("chiron.deploy.predictor_calls").value(),
+            2 * static_cast<std::int64_t>(d.stats.predictor_calls));
+  metrics.reset();
+}
+
+TEST(InstrumentationTest, DeployEmitsPhaseSpans) {
+  GlobalTracerGuard guard;
+  Chiron manager(ChironConfig{});
+  manager.deploy(make_slapp(), 300.0);
+  obs::Tracer::global().set_enabled(false);
+
+  const std::vector<ParsedEvent> events =
+      parse_events(obs::Tracer::global().dump());
+  const std::map<std::string, int> begins = check_balanced_spans(events);
+  for (const char* phase :
+       {"chiron.deploy", "profile", "pgp.schedule", "pgp.outer_iteration",
+        "codegen"}) {
+    EXPECT_TRUE(begins.count(phase)) << "missing span '" << phase << "'";
+  }
+}
+
+TEST(InstrumentationTest, LocalInvokeEmitsPerFunctionSpans) {
+  const Workflow wf = make_slapp();
+  Chiron manager(ChironConfig{});
+  const Deployment d = manager.deploy(wf, 300.0);
+
+  GlobalTracerGuard guard;
+  LocalConfig config;
+  config.time_scale = 0.05;
+  config.emulate_overheads = false;
+  LocalDeployment local(wf, d.plan, config);
+  const LocalRunResult r = local.invoke("ping");
+  EXPECT_EQ(r.functions.size(), wf.function_count());
+  obs::Tracer::global().set_enabled(false);
+
+  const std::vector<ParsedEvent> events =
+      parse_events(obs::Tracer::global().dump());
+  const std::map<std::string, int> begins = check_balanced_spans(events);
+  EXPECT_EQ(begins.count("local.invoke"), 1u);
+  ASSERT_TRUE(begins.count("stage"));
+  EXPECT_EQ(begins.at("stage"), static_cast<int>(d.plan.stages.size()));
+  int fn_spans = 0;
+  for (const auto& [name, count] : begins) {
+    if (name.rfind("fn:", 0) == 0) fn_spans += count;
+  }
+  EXPECT_EQ(fn_spans, static_cast<int>(wf.function_count()));
+}
+
+}  // namespace
+}  // namespace chiron

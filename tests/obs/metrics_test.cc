@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace chiron::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kIncrements; ++j) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, SetAddAndHighWater) {
+  Gauge g;
+  g.set(3.0);
+  g.add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 5.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({3.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, BucketsAndMomentsAreExact) {
+  Histogram h({10.0, 20.0, 50.0});
+  for (double x : {1.0, 9.0, 10.0, 15.0, 40.0, 60.0, 100.0}) h.observe(x);
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 3u);  // <= 10
+  EXPECT_EQ(snap.buckets[1], 1u);  // (10, 20]
+  EXPECT_EQ(snap.buckets[2], 1u);  // (20, 50]
+  EXPECT_EQ(snap.buckets[3], 2u);  // > 50
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), 100.0);
+  EXPECT_NEAR(snap.sum, 235.0, 1e-9);
+}
+
+TEST(HistogramTest, ConcurrentObserversLoseNothing) {
+  Histogram h({0.5});
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 5000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&h, i] {
+      for (int j = 0; j < kSamples; ++j) {
+        h.observe(static_cast<double>(i));  // thread 0 under, rest over
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kSamples);
+  EXPECT_EQ(snap.buckets[0], static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(snap.buckets[1],
+            static_cast<std::uint64_t>(kThreads - 1) * kSamples);
+  // The striped RunningStats merge to the exact global moments.
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), static_cast<double>(kThreads - 1));
+  EXPECT_NEAR(snap.stats.mean(), 3.5, 1e-9);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableObjects) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.inc(5);
+  EXPECT_EQ(&registry.counter("x"), &a);
+  EXPECT_EQ(registry.counter("x").value(), 5);
+  Histogram& h = registry.histogram("lat", {1.0, 2.0});
+  EXPECT_EQ(&registry.histogram("lat"), &h);  // bounds ignored on reuse
+}
+
+TEST(MetricsRegistryTest, JsonExportParsesAndMatches) {
+  MetricsRegistry registry;
+  registry.counter("requests.total").inc(3);
+  registry.gauge("queue.depth").set(4.0);
+  registry.histogram("latency.ms", {10.0, 100.0}).observe(42.0);
+
+  const json::Value doc = json::parse(json::dump(registry.to_json()));
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("requests.total").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("queue.depth").at("value").as_number(),
+                   4.0);
+  const json::Value& h = doc.at("histograms").at("latency.ms");
+  EXPECT_DOUBLE_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("buckets").as_array()[1].as_number(), 1.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportHasExpectedShape) {
+  MetricsRegistry registry;
+  registry.counter("chiron.deploy.count").inc(2);
+  registry.gauge("cluster.queue-depth").set(1.5);
+  Histogram& h = registry.histogram("e2e", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+
+  const std::string text = registry.to_prometheus();
+  // Dots and dashes sanitised; TYPE lines present; cumulative buckets.
+  EXPECT_NE(text.find("# TYPE chiron_deploy_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("chiron_deploy_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cluster_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("e2e_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("e2e_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("e2e_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("e2e_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("a").inc();
+  registry.reset();
+  EXPECT_EQ(registry.counter("a").value(), 0);
+}
+
+}  // namespace
+}  // namespace chiron::obs

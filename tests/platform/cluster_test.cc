@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/systems.h"
 #include "workflow/benchmarks.h"
 
@@ -130,6 +132,53 @@ TEST(ClusterTest, ChironOutServesFaastlaneUnderOverload) {
   const auto faastlane = make_system("Faastlane", wf, opts);
   EXPECT_GT(sim.run(*chiron, 1).achieved_rps,
             1.3 * sim.run(*faastlane, 1).achieved_rps);
+}
+
+TEST(ClusterTest, ColdStartCounterMatchesResult) {
+  // The acceptance check: the simulator's emitted metrics agree exactly
+  // with the ClusterResult it returns.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  obs::MetricsRegistry metrics;
+  ClusterConfig config = small_config();
+  config.metrics = &metrics;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  EXPECT_GE(r.cold_starts, 1u);
+  EXPECT_EQ(metrics.counter("cluster.cold_starts").value(),
+            static_cast<std::int64_t>(r.cold_starts));
+  EXPECT_DOUBLE_EQ(metrics.gauge("cluster.queue_depth").high_water(),
+                   static_cast<double>(r.peak_queue));
+  EXPECT_DOUBLE_EQ(metrics.gauge("cluster.peak_instances").value(),
+                   static_cast<double>(r.peak_instances));
+  const obs::HistogramSnapshot lat =
+      metrics.histogram("cluster.e2e_latency_ms").snapshot();
+  EXPECT_EQ(lat.count, static_cast<std::uint64_t>(r.completed));
+  EXPECT_NEAR(lat.stats.mean(), r.mean_ms, 1e-6);
+}
+
+TEST(ClusterTest, EmitsVirtualTimeRequestSpans) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ClusterConfig config = small_config();
+  config.tracer = &tracer;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+
+  std::size_t begins = 0, ends = 0, cold_instants = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    EXPECT_EQ(ev.pid, obs::kVirtualPid);  // everything on the virtual clock
+    if (ev.name == "request" && ev.phase == 'b') ++begins;
+    if (ev.name == "request" && ev.phase == 'e') ++ends;
+    if (ev.name == "cluster.cold_start") ++cold_instants;
+  }
+  EXPECT_EQ(begins, r.offered);
+  EXPECT_EQ(ends, r.completed);
+  EXPECT_EQ(cold_instants, r.cold_starts);
 }
 
 TEST(ClusterTest, DeterministicForSeed) {
