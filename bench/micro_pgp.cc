@@ -30,6 +30,22 @@ void BM_PgpSchedule(benchmark::State& state) {
 BENCHMARK(BM_PgpSchedule)->Arg(5)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
+// Ablation: the pre-optimisation deploy path — no prediction cache, no
+// deploy pool. The gap to BM_PgpSchedule is the value of the fast path.
+void BM_PgpScheduleUncachedSequential(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  PgpConfig config;
+  config.prediction_cache = false;
+  config.deploy_threads = 1;
+  PgpScheduler scheduler(config, wf, true_behaviors(wf));
+  const TimeMs slo = 80.0 + 1.5 * static_cast<TimeMs>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(slo).processes);
+  }
+}
+BENCHMARK(BM_PgpScheduleUncachedSequential)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PgpScheduleNoKl(benchmark::State& state) {
   const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
   PgpConfig config;

@@ -46,8 +46,10 @@ BENCHMARK(BM_CpuShareSimulation)->RangeMultiplier(4)->Range(8, 512);
 
 void BM_WorkflowPrediction(benchmark::State& state) {
   const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  // Cache off: this measures the cold simulation cost of one estimate.
   Predictor predictor(
-      PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0},
+      PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0,
+                      /*enable_cache=*/false},
       true_behaviors(wf));
   const WrapPlan plan = faastlane_plan(wf);
   for (auto _ : state) {
@@ -56,10 +58,24 @@ void BM_WorkflowPrediction(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkflowPrediction)->Arg(5)->Arg(50)->Arg(100)->Arg(200);
 
-void BM_CappedWorkflowPrediction(benchmark::State& state) {
+void BM_CachedWorkflowPrediction(benchmark::State& state) {
   const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
   Predictor predictor(
       PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0},
+      true_behaviors(wf));
+  const WrapPlan plan = faastlane_plan(wf);
+  predictor.workflow_latency(plan);  // warm the memo table
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.workflow_latency(plan));
+  }
+}
+BENCHMARK(BM_CachedWorkflowPrediction)->Arg(50)->Arg(200);
+
+void BM_CappedWorkflowPrediction(benchmark::State& state) {
+  const Workflow wf = make_finra(static_cast<std::size_t>(state.range(0)));
+  Predictor predictor(
+      PredictorConfig{RuntimeParams::defaults(), Runtime::kPython3, 1.0,
+                      /*enable_cache=*/false},
       true_behaviors(wf));
   WrapPlan plan = sand_plan(wf);
   plan.cpu_cap = 4;  // forces the two-level effective-behaviour simulation

@@ -3,7 +3,8 @@
 // deployable artifacts (stack.yml + per-wrap handlers).
 //
 //   $ ./examples/chironctl my_workflow.json [--slo 60] [--mode native]
-//                          [--emit out_dir] [--trace out.json] [--metrics]
+//                          [--deploy-threads N] [--emit out_dir]
+//                          [--trace out.json] [--metrics]
 //
 // --trace records the deploy pipeline (profile / PGP iterations / KL /
 // CPU minimisation / codegen) as Chrome trace-event JSON — open it in
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   std::string emit_dir;
   std::string trace_path;
   bool dump_metrics = false;
+  std::size_t deploy_threads = 0;  // 0 = auto
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,8 +82,10 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--deploy-threads" && i + 1 < argc) {
+      deploy_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--slo" || arg == "--mode" || arg == "--emit" ||
-               arg == "--trace") {
+               arg == "--trace" || arg == "--deploy-threads") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (arg.rfind("--", 0) == 0) {
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
 
   ChironConfig config;
   config.mode = mode;
+  config.deploy_threads = deploy_threads;
   Chiron manager(config);
   const Deployment d = manager.deploy(def.workflow, slo);
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Deploy-path benchmark runner: builds the Release tree, runs the
+# micro_pgp + micro_predictor suites in google-benchmark JSON mode, and
+# folds the results into BENCH_deploy.json at the repo root so the perf
+# trajectory is tracked PR-over-PR.
+#
+#   scripts/bench.sh                        # full run, writes BENCH_deploy.json
+#   scripts/bench.sh --smoke                # fast correctness pass, no output file
+#   scripts/bench.sh --baseline old.json    # embed a prior run under "baseline"
+#
+# Env overrides: BENCH_BUILD_DIR (default build-bench), JOBS (nproc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BENCH_BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
+
+SMOKE=0
+BASELINE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --baseline)
+      [[ $# -ge 2 ]] || { echo "--baseline requires a file" >&2; exit 2; }
+      BASELINE="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
+cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
+  --target bench_micro_pgp bench_micro_predictor
+
+if [[ "${SMOKE}" == "1" ]]; then
+  # One tiny repetition per suite: proves the binaries run and produce
+  # well-formed JSON without paying for stable timings.
+  echo "== bench: smoke =="
+  "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
+    --benchmark_filter='BM_PgpSchedule/5$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_predictor" \
+    --benchmark_filter='BM_WorkflowPrediction/5$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
+  echo "== bench: smoke OK =="
+  exit 0
+fi
+
+PGP_JSON="${BENCH_BUILD_DIR}/micro_pgp.json"
+PRED_JSON="${BENCH_BUILD_DIR}/micro_predictor.json"
+
+echo "== bench: micro_pgp =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
+  --benchmark_format=json --benchmark_out="${PGP_JSON}" \
+  --benchmark_out_format=json
+echo "== bench: micro_predictor =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_predictor" \
+  --benchmark_format=json --benchmark_out="${PRED_JSON}" \
+  --benchmark_out_format=json
+
+python3 - "$PGP_JSON" "$PRED_JSON" "$BASELINE" <<'PY'
+import json, sys
+
+pgp_path, pred_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+out = {
+    "bench": "deploy",
+    "build_type": "Release",
+    "micro_pgp": json.load(open(pgp_path)),
+    "micro_predictor": json.load(open(pred_path)),
+}
+if baseline_path:
+    out["baseline"] = json.load(open(baseline_path))
+with open("BENCH_deploy.json", "w") as f:
+    json.dump(out, f, indent=1)
+    f.write("\n")
+print("wrote BENCH_deploy.json")
+PY

@@ -23,6 +23,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 echo "== tier-1: ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+echo "== tier-1: bench smoke =="
+scripts/bench.sh --smoke
+
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
   echo "== tsan: configure + build (${TSAN_BUILD_DIR}) =="
@@ -30,7 +33,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
   echo "== tsan: concurrency-sensitive subset =="
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation'
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity'
 fi
 
 echo "== check.sh: all green =="

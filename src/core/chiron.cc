@@ -60,7 +60,8 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
     // all functions share a single wrap; only the CPU allocation is tuned.
     obs::ScopedSpan span(tracer, "pool_plan", "deploy");
     Predictor predictor(
-        PredictorConfig{config_.params, runtime, config_.conservative_factor},
+        PredictorConfig{config_.params, runtime, config_.conservative_factor,
+                        config_.prediction_cache},
         behaviors);
     WrapPlan plan = pool_plan(wf);
     // Same bounded give-back as PGP: CPU sharing may cost at most ~10 %
@@ -72,6 +73,7 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
     deployment.slo_met = deployment.predicted_latency_ms <= slo_ms;
     deployment.processes = plan.peak_stage_functions();
     deployment.plan = std::move(plan);
+    predictor.publish_cache_metrics();
   } else {
     PgpConfig pgp_config;
     pgp_config.params = config_.params;
@@ -79,6 +81,8 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
     pgp_config.runtime = runtime;
     pgp_config.conservative_factor = config_.conservative_factor;
     pgp_config.use_kl = config_.use_kl;
+    pgp_config.deploy_threads = config_.deploy_threads;
+    pgp_config.prediction_cache = config_.prediction_cache;
     PgpScheduler scheduler(pgp_config, wf, behaviors);
     PgpResult result = scheduler.schedule(slo_ms);
     deployment.plan = std::move(result.plan);

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "core/kernighan_lin.h"
 #include "obs/trace.h"
@@ -26,27 +27,14 @@ std::vector<ProcessGroup> to_groups(std::vector<std::vector<FunctionId>> sets) {
   return groups;
 }
 
-}  // namespace
-
-PgpScheduler::PgpScheduler(PgpConfig config, Workflow wf,
-                           std::vector<FunctionBehavior> profiles)
-    : config_(std::move(config)),
-      wf_(std::move(wf)),
-      predictor_(
-          PredictorConfig{config_.params, config_.runtime,
-                          config_.conservative_factor},
-          std::move(profiles)) {
-  if (predictor_.profiles().size() < wf_.function_count()) {
-    throw std::invalid_argument("profiles do not cover the workflow");
-  }
-}
-
-std::vector<FunctionId> PgpScheduler::conflicted_functions(StageId s) const {
-  const Stage& stage = wf_.stage(s);
+// Functions of `stage` that must be isolated in their own sandbox
+// (runtime-tag mismatch with the stage majority, or shared written files).
+std::vector<FunctionId> compute_conflicted(const Workflow& wf, StageId s) {
+  const Stage& stage = wf.stage(s);
   // Majority runtime tag of the stage; functions off-tag are isolated.
   std::map<std::string, std::size_t> tag_counts;
   for (FunctionId f : stage.functions) {
-    ++tag_counts[wf_.function(f).runtime_tag];
+    ++tag_counts[wf.function(f).runtime_tag];
   }
   std::string majority;
   std::size_t best = 0;
@@ -59,13 +47,13 @@ std::vector<FunctionId> PgpScheduler::conflicted_functions(StageId s) const {
   // File conflicts: any two functions writing the same file.
   std::map<std::string, std::vector<FunctionId>> writers;
   for (FunctionId f : stage.functions) {
-    for (const std::string& file : wf_.function(f).files_written) {
+    for (const std::string& file : wf.function(f).files_written) {
       writers[file].push_back(f);
     }
   }
   std::set<FunctionId> conflicted;
   for (FunctionId f : stage.functions) {
-    if (wf_.function(f).runtime_tag != majority) conflicted.insert(f);
+    if (wf.function(f).runtime_tag != majority) conflicted.insert(f);
   }
   for (const auto& [file, fns] : writers) {
     if (fns.size() > 1) {
@@ -74,6 +62,147 @@ std::vector<FunctionId> PgpScheduler::conflicted_functions(StageId s) const {
     }
   }
   return {conflicted.begin(), conflicted.end()};
+}
+
+// Incremental KL stage evaluation. Stage latency (Eq. 2) is a max over
+// wraps, and the search-phase wrap layout is a fixed function of the group
+// count — so a KL swap touching groups p and q only invalidates the (at
+// most two) wraps containing them. The evaluator freezes the layout
+// skeleton once, keeps the untouched wraps' latencies, and re-simulates
+// only the touched wraps per pair evaluation; combined with the
+// Predictor's group memoization, each eval costs two group simulations
+// instead of a full stage re-layout. Values are exactly those of
+// Predictor::stage_latency over layout_stage's output (parity tested).
+class StageEvaluator {
+ public:
+  StageEvaluator(const Predictor& predictor, IsolationMode mode,
+                 const RuntimeParams& params,
+                 const std::vector<std::vector<FunctionId>>& sets,
+                 std::size_t wrap_count,
+                 const std::vector<FunctionId>& conflicted)
+      : predictor_(predictor), mode_(mode), params_(params), sets_(sets) {
+    const std::size_t k = sets.size();
+    const std::size_t w = std::max<std::size_t>(1, std::min(wrap_count, k));
+    // Balanced contiguous chunks, mirroring layout_stage.
+    wrap_of_.resize(k);
+    members_.resize(w);
+    const std::size_t base = k / w;
+    const std::size_t extra = k % w;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t take = base + (i < extra ? 1 : 0);
+      for (std::size_t j = 0; j < take; ++j) {
+        wrap_of_[next] = i;
+        members_[i].push_back(next);
+        ++next;
+      }
+    }
+    base_latency_.resize(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      base_latency_[i] = wrap_latency(i, kNone, nullptr, kNone, nullptr);
+    }
+    // The stage's conflicted functions sit in fixed singleton wraps after
+    // the chunked ones; KL never touches them, so compute once.
+    conflicted_latency_.reserve(conflicted.size());
+    for (FunctionId f : conflicted) {
+      Wrap cw;
+      ProcessGroup g;
+      g.functions = {f};
+      g.mode = ExecMode::kThread;  // sole occupant of its sandbox
+      cw.processes.push_back(std::move(g));
+      conflicted_latency_.push_back(predictor_.wrap_latency(cw, mode_));
+    }
+  }
+
+  /// Stage latency with sets[p] -> a and sets[q] -> b, everything else as
+  /// currently committed.
+  TimeMs eval_pair(std::size_t p, std::size_t q,
+                   const std::vector<FunctionId>& a,
+                   const std::vector<FunctionId>& b) const {
+    TimeMs stage = 0.0;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      const TimeMs lat = (i == wrap_of_[p] || i == wrap_of_[q])
+                             ? wrap_latency(i, p, &a, q, &b)
+                             : base_latency_[i];
+      stage = std::max(stage, offset(i) + lat);
+    }
+    for (std::size_t c = 0; c < conflicted_latency_.size(); ++c) {
+      stage = std::max(stage,
+                       offset(members_.size() + c) + conflicted_latency_[c]);
+    }
+    return stage;
+  }
+
+  /// Re-bases the wraps holding p and q after the caller committed new
+  /// contents for those groups.
+  void refresh(std::size_t p, std::size_t q) {
+    base_latency_[wrap_of_[p]] =
+        wrap_latency(wrap_of_[p], kNone, nullptr, kNone, nullptr);
+    if (wrap_of_[q] != wrap_of_[p]) {
+      base_latency_[wrap_of_[q]] =
+          wrap_latency(wrap_of_[q], kNone, nullptr, kNone, nullptr);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Eq. (2) wrap arrival offsets, as in Predictor::stage_latency.
+  TimeMs offset(std::size_t wrap_index) const {
+    if (wrap_index == 0) return 0.0;
+    if (params_.decentralized_scheduling) return params_.rpc_ms;
+    return static_cast<TimeMs>(wrap_index - 1) * params_.inv_ms +
+           params_.rpc_ms;
+  }
+
+  // Latency of chunk wrap `i`, with groups p/q optionally overridden.
+  TimeMs wrap_latency(std::size_t i, std::size_t p,
+                      const std::vector<FunctionId>* a, std::size_t q,
+                      const std::vector<FunctionId>* b) const {
+    Wrap wrap;
+    wrap.processes.reserve(members_[i].size());
+    for (std::size_t g : members_[i]) {
+      ProcessGroup pg;
+      pg.functions = g == p ? *a : g == q ? *b : sets_[g];
+      // Only group 0 rides the resident orchestrator (it always lands at
+      // wrap 0, slot 0 of the contiguous layout); the rest fork.
+      pg.mode = g == 0 ? ExecMode::kThread : ExecMode::kProcess;
+      wrap.processes.push_back(std::move(pg));
+    }
+    return predictor_.wrap_latency(wrap, mode_);
+  }
+
+  const Predictor& predictor_;
+  const IsolationMode mode_;
+  const RuntimeParams& params_;
+  const std::vector<std::vector<FunctionId>>& sets_;
+  std::vector<std::size_t> wrap_of_;               // group -> chunk wrap
+  std::vector<std::vector<std::size_t>> members_;  // chunk wrap -> groups
+  std::vector<TimeMs> base_latency_;               // committed wrap latency
+  std::vector<TimeMs> conflicted_latency_;         // fixed singleton wraps
+};
+
+}  // namespace
+
+PgpScheduler::PgpScheduler(PgpConfig config, Workflow wf,
+                           std::vector<FunctionBehavior> profiles)
+    : config_(std::move(config)),
+      wf_(std::move(wf)),
+      predictor_(
+          PredictorConfig{config_.params, config_.runtime,
+                          config_.conservative_factor,
+                          config_.prediction_cache},
+          std::move(profiles)) {
+  if (predictor_.profiles().size() < wf_.function_count()) {
+    throw std::invalid_argument("profiles do not cover the workflow");
+  }
+  conflicted_.reserve(wf_.stage_count());
+  for (StageId s = 0; s < wf_.stage_count(); ++s) {
+    conflicted_.push_back(compute_conflicted(wf_, s));
+  }
+  const std::size_t workers =
+      ThreadPool::resolve_workers(config_.deploy_threads);
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
 }
 
 std::size_t PgpScheduler::search_wrap_count(std::size_t group_count) const {
@@ -87,7 +216,7 @@ std::size_t PgpScheduler::search_wrap_count(std::size_t group_count) const {
 
 std::vector<ProcessGroup> PgpScheduler::partition_stage(
     StageId s, std::size_t n, PgpStats& stats) const {
-  const std::vector<FunctionId> conflicted = conflicted_functions(s);
+  const std::vector<FunctionId>& conflicted = conflicted_functions(s);
   const std::set<FunctionId> conflicted_set(conflicted.begin(),
                                             conflicted.end());
   std::vector<FunctionId> fns;
@@ -115,24 +244,22 @@ std::vector<ProcessGroup> PgpScheduler::partition_stage(
                             {{"stage", static_cast<double>(s)},
                              {"processes", static_cast<double>(k)}});
     // KL over every pair of process sets (Algorithm 2 lines 10-11). The
-    // evaluation swaps a pair in place and predicts the stage latency with
-    // the search-phase wrap layout.
+    // evaluator re-simulates only the wraps holding the swapped pair and
+    // reuses every untouched group's latency (see StageEvaluator).
+    StageEvaluator evaluator(predictor_, config_.mode, config_.params, sets,
+                             search_wrap_count(k), conflicted);
     for (std::size_t p = 0; p + 1 < sets.size(); ++p) {
       for (std::size_t q = p + 1; q < sets.size(); ++q) {
         PairLatencyEval eval = [&](const std::vector<FunctionId>& a,
                                    const std::vector<FunctionId>& b) {
-          std::vector<std::vector<FunctionId>> candidate = sets;
-          candidate[p] = a;
-          candidate[q] = b;
-          StagePlan sp = layout_stage(s, to_groups(std::move(candidate)),
-                                      search_wrap_count(k));
           ++stats.predictor_calls;
-          return predictor_.stage_latency(sp, config_.mode);
+          return evaluator.eval_pair(p, q, a, b);
         };
         KlResult kl = kernighan_lin(sets[p], sets[q], eval);
         stats.kl_evaluations += kl.evaluations;
         sets[p] = std::move(kl.a);
         sets[q] = std::move(kl.b);
+        evaluator.refresh(p, q);
       }
     }
   }
@@ -179,6 +306,40 @@ StagePlan PgpScheduler::layout_stage(StageId s,
   return sp;
 }
 
+PgpScheduler::OuterOutcome PgpScheduler::evaluate_outer(std::size_t n) const {
+  obs::ScopedSpan iter_span(obs::Tracer::global(), "pgp.outer_iteration",
+                            "deploy", {{"n", static_cast<double>(n)}});
+  OuterOutcome out;
+  out.candidate.mode = config_.mode;
+  const std::size_t stages = wf_.stage_count();
+  struct StageResult {
+    std::vector<ProcessGroup> groups;
+    PgpStats stats;
+  };
+  // Per-stage partitions are independent (Algorithm 2 treats stages
+  // separately); fan them out when a pool is available. Each stage
+  // accumulates into its own PgpStats, merged below in stage order so the
+  // totals match the sequential run exactly.
+  auto per_stage =
+      ThreadPool::map(pool_.get(), stages, [&](std::size_t s) {
+        StageResult r;
+        r.groups = partition_stage(static_cast<StageId>(s), n, r.stats);
+        return r;
+      });
+  out.groups.resize(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    out.groups[s] = std::move(per_stage[s].groups);
+    out.stats.kl_evaluations += per_stage[s].stats.kl_evaluations;
+    out.stats.predictor_calls += per_stage[s].stats.predictor_calls;
+    out.candidate.stages.push_back(
+        layout_stage(static_cast<StageId>(s), out.groups[s],
+                     search_wrap_count(out.groups[s].size())));
+  }
+  ++out.stats.predictor_calls;
+  out.latency = predictor_.workflow_latency(out.candidate);
+  return out;
+}
+
 PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
   obs::Tracer& tracer = obs::Tracer::global();
   obs::ScopedSpan schedule_span(tracer, "pgp.schedule", "deploy",
@@ -187,37 +348,48 @@ PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
   const std::size_t max_n = std::max<std::size_t>(1, wf_.max_parallelism());
 
   // Outer loop (Algorithm 2 lines 3-12): grow n until the SLO is met.
+  // With a pool, upcoming process counts are evaluated speculatively in
+  // widening waves; results are consumed in ascending n, the smallest
+  // SLO-meeting n is committed, and the stats of overshot counts are
+  // discarded — so plan and telemetry are identical to the sequential
+  // search. The width ramp (1, 2, 4, ...) keeps generous-SLO deployments
+  // (where n = 1 already fits) from paying for wasted speculation.
   std::vector<std::vector<ProcessGroup>> stage_groups(wf_.stage_count());
   WrapPlan plan;
   TimeMs predicted = kInfiniteTime;
   std::size_t chosen_n = max_n;
-  for (std::size_t n = 1; n <= max_n; ++n) {
-    obs::ScopedSpan iter_span(tracer, "pgp.outer_iteration", "deploy",
-                              {{"n", static_cast<double>(n)}});
-    ++result.stats.outer_iterations;
-    WrapPlan candidate;
-    candidate.mode = config_.mode;
-    std::vector<std::vector<ProcessGroup>> groups(wf_.stage_count());
-    for (StageId s = 0; s < wf_.stage_count(); ++s) {
-      groups[s] = partition_stage(s, n, result.stats);
-      candidate.stages.push_back(
-          layout_stage(s, groups[s], search_wrap_count(groups[s].size())));
+  const std::size_t speculation_cap = pool_ ? pool_->size() : 1;
+  std::size_t next_n = 1;
+  std::size_t width = 1;
+  bool met = false;
+  while (next_n <= max_n && !met) {
+    const std::size_t batch = std::min(width, max_n - next_n + 1);
+    auto outcomes = ThreadPool::map(pool_.get(), batch, [&](std::size_t i) {
+      return evaluate_outer(next_n + i);
+    });
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t n = next_n + i;
+      OuterOutcome& out = outcomes[i];
+      ++result.stats.outer_iterations;
+      result.stats.kl_evaluations += out.stats.kl_evaluations;
+      result.stats.predictor_calls += out.stats.predictor_calls;
+      if (out.latency <= slo_ms) {
+        plan = std::move(out.candidate);
+        predicted = out.latency;
+        stage_groups = std::move(out.groups);
+        chosen_n = n;
+        met = true;
+        break;
+      }
+      if (out.latency < predicted) {
+        plan = std::move(out.candidate);
+        predicted = out.latency;
+        stage_groups = std::move(out.groups);
+        chosen_n = n;
+      }
     }
-    ++result.stats.predictor_calls;
-    const TimeMs t = predictor_.workflow_latency(candidate);
-    if (t < predicted || n == 1) {
-      plan = candidate;
-      predicted = t;
-      stage_groups = groups;
-      chosen_n = n;
-    }
-    if (t <= slo_ms) {
-      plan = std::move(candidate);
-      predicted = t;
-      stage_groups = std::move(groups);
-      chosen_n = n;
-      break;
-    }
+    next_n += batch;
+    width = std::min(speculation_cap, width * 2);
   }
   result.processes = chosen_n;
   result.slo_met = predicted <= slo_ms;
@@ -260,13 +432,44 @@ PgpResult PgpScheduler::schedule(TimeMs slo_ms) const {
   plan.validate(wf_);
   result.plan = std::move(plan);
   result.predicted_latency_ms = predicted;
+  predictor_.publish_cache_metrics();
   return result;
 }
 
 WrapPlan PgpScheduler::with_min_cpus(const Predictor& predictor,
                                      WrapPlan plan, TimeMs slo_ms) {
   // Pool deployments parallelise per worker (one per function), process
-  // deployments per process; the cap search covers both.
+  // deployments per process; the cap search covers both. Predicted
+  // latency is monotone non-increasing in the allocation (every engine in
+  // runtime/ only gets faster with more cores), so the smallest feasible
+  // cap is found by bisection; with_min_cpus_linear is the tested
+  // reference.
+  const std::size_t peak =
+      plan.mode == IsolationMode::kPool
+          ? plan.peak_stage_functions()
+          : plan.peak_processes();
+  if (peak <= 1) return plan;
+  WrapPlan probe = plan;
+  probe.cpu_cap = peak - 1;
+  if (predictor.workflow_latency(probe) > slo_ms) {
+    return plan;  // monotone: if the largest candidate cap misses, all do
+  }
+  std::size_t lo = 1, hi = peak - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    probe.cpu_cap = mid;
+    if (predictor.workflow_latency(probe) <= slo_ms) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  probe.cpu_cap = lo;
+  return probe;
+}
+
+WrapPlan PgpScheduler::with_min_cpus_linear(const Predictor& predictor,
+                                            WrapPlan plan, TimeMs slo_ms) {
   const std::size_t peak =
       plan.mode == IsolationMode::kPool
           ? plan.peak_stage_functions()

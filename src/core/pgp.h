@@ -14,8 +14,10 @@
 // wraps before partitioning.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/predictor.h"
 #include "core/wrap.h"
 #include "runtime/params.h"
@@ -44,6 +46,14 @@ struct PgpConfig {
   /// Faastlane+10 ms SLO of §6.2): resource savings come from threading,
   /// not from trading the whole SLO slack for time-sharing.
   double resource_slack = 0.10;
+  /// Deploy-path worker threads: independent per-stage partitions and
+  /// speculative outer-loop process counts evaluate concurrently, but the
+  /// committed plan is bit-identical to the sequential search (parity
+  /// tested). 0 = auto (hardware concurrency), 1 = fully sequential.
+  std::size_t deploy_threads = 0;
+  /// Memoize ProcessGroup simulations inside the Predictor (see
+  /// prediction_cache.h); identical plans with the cache off.
+  bool prediction_cache = true;
 };
 
 /// Scheduler telemetry for the §7 scalability discussion.
@@ -76,18 +86,43 @@ class PgpScheduler {
 
   /// Smallest cpu_cap keeping `plan` within `slo_ms` under `predictor`;
   /// leaves cpu_cap = 0 (uncapped) when no cap fits. Shared by PGP and the
-  /// pool-mode deployment path.
+  /// pool-mode deployment path. Binary-searches the cap (predicted latency
+  /// is monotone non-increasing in the allocation).
   static WrapPlan with_min_cpus(const Predictor& predictor, WrapPlan plan,
                                 TimeMs slo_ms);
 
+  /// Reference implementation of with_min_cpus: the original linear
+  /// 1..peak scan. Kept for the parity test and ablations; both return
+  /// the same cap whenever latency is monotone in the cap (it is, for
+  /// every engine in runtime/).
+  static WrapPlan with_min_cpus_linear(const Predictor& predictor,
+                                       WrapPlan plan, TimeMs slo_ms);
+
  private:
-  /// Functions of stage `s` that must be isolated in their own sandbox.
-  std::vector<FunctionId> conflicted_functions(StageId s) const;
+  /// Outcome of one outer-loop iteration (one process count n).
+  struct OuterOutcome {
+    WrapPlan candidate;
+    std::vector<std::vector<ProcessGroup>> groups;
+    TimeMs latency = 0.0;
+    PgpStats stats;  ///< this iteration's partition + prediction work only
+  };
+
+  /// Functions of stage `s` that must be isolated in their own sandbox
+  /// (precomputed per stage at construction — the set depends only on the
+  /// workflow, not on the process count).
+  const std::vector<FunctionId>& conflicted_functions(StageId s) const {
+    return conflicted_[s];
+  }
 
   /// Partitions stage `s`'s shareable functions into (up to) n process
   /// groups, refined with KL; returns the groups in fork order.
   std::vector<ProcessGroup> partition_stage(StageId s, std::size_t n,
                                             PgpStats& stats) const;
+
+  /// Algorithm 2 lines 5-11 for one process count: partition every stage
+  /// (concurrently when a pool is available), lay the groups out with the
+  /// search-phase wrap count, and predict the workflow latency.
+  OuterOutcome evaluate_outer(std::size_t n) const;
 
   /// Lays out `groups` into `wrap_count` balanced wraps (plus singleton
   /// wraps for the stage's conflicted functions).
@@ -101,6 +136,11 @@ class PgpScheduler {
   PgpConfig config_;
   Workflow wf_;
   Predictor predictor_;
+  /// conflicted_[s] = functions of stage s needing a dedicated sandbox.
+  std::vector<std::vector<FunctionId>> conflicted_;
+  /// Deploy-path pool; null when config_.deploy_threads resolves to 1.
+  /// Workers idle between schedule() calls.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace chiron

@@ -1,0 +1,79 @@
+#include "core/prediction_cache.h"
+
+namespace chiron {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * kFnvPrime;
+}
+
+}  // namespace
+
+std::size_t GroupCacheKeyHash::operator()(const GroupCacheKey& key) const {
+  std::uint64_t h = kFnvOffset;
+  for (FunctionId f : key.functions) h = fnv_mix(h, f);
+  h = fnv_mix(h, static_cast<std::uint64_t>(key.functions.size()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(key.exec_mode));
+  h = fnv_mix(h, static_cast<std::uint64_t>(key.isolation));
+  h = fnv_mix(h, static_cast<std::uint64_t>(key.cpus));
+  h = fnv_mix(h, key.record_spans ? 1u : 0u);
+  return static_cast<std::size_t>(h);
+}
+
+PredictionCache::Shard& PredictionCache::shard_for(const GroupCacheKey& key) {
+  return shards_[GroupCacheKeyHash{}(key) % kShards];
+}
+
+std::shared_ptr<const InterleaveResult> PredictionCache::lookup(
+    const GroupCacheKey& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const InterleaveResult> PredictionCache::insert(
+    const GroupCacheKey& key, InterleaveResult result) {
+  auto entry = std::make_shared<const InterleaveResult>(std::move(result));
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // First writer wins: a racing double-compute produced the identical
+  // deterministic result, so keeping the existing entry is safe and keeps
+  // previously returned pointers canonical.
+  auto [it, inserted] = shard.map.emplace(key, std::move(entry));
+  return it->second;
+}
+
+PredictionCache::Stats PredictionCache::stats() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t PredictionCache::entry_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void PredictionCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace chiron

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace chiron {
 namespace {
@@ -119,9 +122,12 @@ TimeMs Predictor::thread_exec(const std::vector<FunctionBehavior>& behaviors,
   return run_exec(tasks, mode, 0, false).makespan;
 }
 
-InterleaveResult Predictor::group_exec(const ProcessGroup& g,
-                                       IsolationMode mode,
-                                       bool record_spans) const {
+std::shared_ptr<const InterleaveResult> Predictor::group_exec(
+    const ProcessGroup& g, IsolationMode mode, bool record_spans) const {
+  GroupCacheKey key{g.functions, g.mode, mode, /*cpus=*/0, record_spans};
+  if (config_.enable_cache) {
+    if (auto hit = cache_.lookup(key)) return hit;
+  }
   // Functions sharing a process run as threads (isolation overhead
   // applies); a lone forked function is a plain process.
   const bool thread_context = g.mode == ExecMode::kThread || g.size() > 1;
@@ -131,14 +137,31 @@ InterleaveResult Predictor::group_exec(const ProcessGroup& g,
     behaviors.push_back(behavior_for(f, mode, thread_context, g.size()));
   }
   const auto tasks = staggered_tasks(behaviors, spawn_gap(mode));
-  return run_exec(tasks, mode, 0, record_spans);
+  InterleaveResult result = run_exec(tasks, mode, 0, record_spans);
+  if (config_.enable_cache) return cache_.insert(key, std::move(result));
+  return std::make_shared<const InterleaveResult>(std::move(result));
+}
+
+void Predictor::publish_cache_metrics() const {
+  const PredictionCache::Stats s = cache_.stats();
+  const std::uint64_t prev_hits = published_hits_.exchange(s.hits);
+  const std::uint64_t prev_misses = published_misses_.exchange(s.misses);
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  if (s.hits > prev_hits) {
+    m.counter("chiron.predictor.cache.hit")
+        .inc(static_cast<std::int64_t>(s.hits - prev_hits));
+  }
+  if (s.misses > prev_misses) {
+    m.counter("chiron.predictor.cache.miss")
+        .inc(static_cast<std::int64_t>(s.misses - prev_misses));
+  }
 }
 
 TimeMs Predictor::process_latency(const ProcessGroup& g,
                                   std::size_t fork_index,
                                   IsolationMode mode) const {
   const RuntimeParams& p = config_.params;
-  TimeMs exec = group_exec(g, mode, false).makespan;
+  TimeMs exec = group_exec(g, mode, false)->makespan;
   // SFI-style isolation charges per thread interaction (Table 1); MPK has
   // zero interaction cost.
   if ((mode == IsolationMode::kSfi || mode == IsolationMode::kMpk) &&
@@ -201,7 +224,7 @@ TimeMs Predictor::wrap_latency(const Wrap& w, IsolationMode mode,
   std::size_t fork_index = 0;
   for (const ProcessGroup& g : w.processes) {
     ThreadTask task;
-    task.behavior = effective_behavior(group_exec(g, mode, true));
+    task.behavior = effective_behavior(*group_exec(g, mode, true));
     if (g.mode == ExecMode::kThread) {
       task.ready_ms = 0.0;
     } else {

@@ -18,8 +18,12 @@
 // allocated cores.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/prediction_cache.h"
 #include "core/wrap.h"
 #include "runtime/gil.h"
 #include "runtime/params.h"
@@ -34,6 +38,10 @@ struct PredictorConfig {
   /// Multiplies the final estimate; Chiron plans with a conservative
   /// factor > 1 to keep SLO violations rare (§6.2, Fig. 14).
   double conservative_factor = 1.0;
+  /// Memoize per-ProcessGroup simulations (prediction_cache.h). Results
+  /// are bit-identical with the cache off; disable only to measure the
+  /// cold simulation cost (bench) or to bound memory on huge sweeps.
+  bool enable_cache = true;
 };
 
 /// Collapses an interleaving result into the process's outward CPU/block
@@ -74,6 +82,20 @@ class Predictor {
   const PredictorConfig& config() const { return config_; }
   const std::vector<FunctionBehavior>& profiles() const { return profiles_; }
 
+  /// Prediction-cache hit/miss counts accumulated by this predictor.
+  PredictionCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Number of memoized group simulations currently held.
+  std::size_t cache_entries() const { return cache_.entry_count(); }
+
+  /// Drops every memoized simulation (hit/miss counters are kept).
+  void clear_cache() const { cache_.clear(); }
+
+  /// Mirrors the hit/miss counts gathered since the previous publish into
+  /// the global MetricsRegistry (`chiron.predictor.cache.{hit,miss}`).
+  /// Called by the deploy path after each schedule; safe to call anytime.
+  void publish_cache_metrics() const;
+
  private:
   /// Behaviour of `f` as executed under `mode` in a thread context
   /// (isolation CPU overhead and co-resident-thread contention applied)
@@ -89,11 +111,22 @@ class Predictor {
                             IsolationMode mode, std::size_t cpus,
                             bool record_spans) const;
   /// Group exec makespan + effective behaviour (for capped stage sim).
-  InterleaveResult group_exec(const ProcessGroup& g, IsolationMode mode,
-                              bool record_spans) const;
+  /// Memoized in `cache_` when config_.enable_cache is set; the returned
+  /// pointer stays valid for the predictor's lifetime (or until
+  /// clear_cache()). Thread-safe.
+  std::shared_ptr<const InterleaveResult> group_exec(const ProcessGroup& g,
+                                                     IsolationMode mode,
+                                                     bool record_spans) const;
 
   PredictorConfig config_;
   std::vector<FunctionBehavior> profiles_;
+  /// Memo table for group_exec; mutable because memoization does not
+  /// change observable prediction values (cache on/off parity is tested).
+  mutable PredictionCache cache_;
+  /// High-water marks of the counts already mirrored into the global
+  /// MetricsRegistry, so publish_cache_metrics() increments by delta.
+  mutable std::atomic<std::uint64_t> published_hits_{0};
+  mutable std::atomic<std::uint64_t> published_misses_{0};
 };
 
 }  // namespace chiron

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace chiron {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenZeroRequested) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ResolveWorkersSemantics) {
+  EXPECT_GE(ThreadPool::resolve_workers(0), 1u);  // auto, at least 1
+  EXPECT_EQ(ThreadPool::resolve_workers(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_workers(5), 5u);
+}
+
+TEST(ThreadPoolTest, MapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = ThreadPool::map(&pool, 100, [](std::size_t i) {
+    if (i % 7 == 0) {  // jitter completion order
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, MapWithNullPoolRunsInline) {
+  const auto out =
+      ThreadPool::map(nullptr, 5, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 5u);
+}
+
+TEST(ThreadPoolTest, MapUsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  ThreadPool::map(&pool, 16, [&](std::size_t) {
+    const int now = ++in_flight;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }
+    --in_flight;
+    return 0;
+  });
+  EXPECT_GT(ids.size(), 1u);
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedMapRunsInlineOnWorker) {
+  // A map() issued from inside a pool task must not deadlock waiting for
+  // workers that are all busy — it degrades to an inline loop.
+  ThreadPool pool(2);
+  const auto outer = ThreadPool::map(&pool, 4, [&](std::size_t i) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    const auto inner =
+        ThreadPool::map(&pool, 8, [](std::size_t j) { return j; });
+    return std::accumulate(inner.begin(), inner.end(), i);
+  });
+  ASSERT_EQ(outer.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(outer[i], 28 + i);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadFalseOutsidePool) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPoolTest, ManySmallTasksDrainCleanly) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 500 * 499 / 2);
+}
+
+}  // namespace
+}  // namespace chiron

@@ -165,6 +165,33 @@ TEST(PgpTest, WithMinCpusRespectsTarget) {
   }
 }
 
+TEST(PgpTest, BinaryMinCpusMatchesLinearScan) {
+  // with_min_cpus bisects the cap; the linear 1..peak scan is the
+  // reference. Predicted latency is monotone non-increasing in the cap,
+  // so both must land on the same allocation on the paper workloads.
+  for (const Workflow& wf :
+       {make_finra(10), make_finra(25), make_finra(50), make_social_network(),
+        make_slapp(), make_slapp_v(), make_movie_reviewing()}) {
+    PgpConfig config;
+    config.minimize_cpus = false;  // get the uncapped plan to minimise
+    const PgpScheduler scheduler(
+        config, wf, [&] {
+          std::vector<FunctionBehavior> out;
+          for (const FunctionSpec& f : wf.functions()) out.push_back(f.behavior);
+          return out;
+        }());
+    for (TimeMs slo : {150.0, 300.0, 1000.0}) {
+      const PgpResult result = scheduler.schedule(slo);
+      const WrapPlan binary = PgpScheduler::with_min_cpus(
+          scheduler.predictor(), result.plan, slo);
+      const WrapPlan linear = PgpScheduler::with_min_cpus_linear(
+          scheduler.predictor(), result.plan, slo);
+      EXPECT_EQ(binary.cpu_cap, linear.cpu_cap)
+          << wf.name() << " slo=" << slo;
+    }
+  }
+}
+
 // Property: across SLO levels, PGP never returns an invalid plan and the
 // predicted latency decreases (weakly) as the SLO tightens the search.
 class PgpSloSweep : public ::testing::TestWithParam<double> {};
