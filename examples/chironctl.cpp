@@ -5,11 +5,19 @@
 //   $ ./examples/chironctl my_workflow.json [--slo 60] [--mode native]
 //                          [--deploy-threads N] [--emit out_dir]
 //                          [--trace out.json] [--metrics]
+//                          [--faults SPEC] [--retry N] [--timeout-ms T]
+//                          [--rps R]
 //
 // --trace records the deploy pipeline (profile / PGP iterations / KL /
 // CPU minimisation / codegen) as Chrome trace-event JSON — open it in
 // Perfetto or chrome://tracing. --metrics dumps the metrics registry in
 // Prometheus text format after the run.
+//
+// --faults arms seeded fault injection and runs the deployed plan
+// through the closed-loop cluster simulator. SPEC is a comma list, e.g.
+//   --faults cold=0.05,crash=0.02@0.5,straggler=0.1x4,transfer=0.05,seed=7
+// --retry sets max attempts per request (default 3 under faults) and
+// --timeout-ms arms a per-request deadline; both apply to that fault run.
 //
 // Run without arguments to see a demo on a built-in definition.
 #include <filesystem>
@@ -22,8 +30,11 @@
 #include "common/table.h"
 #include "core/chiron.h"
 #include "core/plan_io.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/cluster.h"
+#include "platform/plan_backend.h"
 #include "workflow/definition.h"
 
 using namespace chiron;
@@ -69,6 +80,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool dump_metrics = false;
   std::size_t deploy_threads = 0;  // 0 = auto
+  std::string fault_text;
+  int retry_attempts = 0;      // 0 = default (3 when faults are armed)
+  TimeMs timeout_ms = 0.0;     // 0 = no per-request deadline
+  double offered_rps = 50.0;
+  bool fault_run = false;      // any of --faults/--retry/--timeout-ms
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,8 +100,21 @@ int main(int argc, char** argv) {
       dump_metrics = true;
     } else if (arg == "--deploy-threads" && i + 1 < argc) {
       deploy_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--faults" && i + 1 < argc) {
+      fault_text = argv[++i];
+      fault_run = true;
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retry_attempts = std::stoi(argv[++i]);
+      fault_run = true;
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::stod(argv[++i]);
+      fault_run = true;
+    } else if (arg == "--rps" && i + 1 < argc) {
+      offered_rps = std::stod(argv[++i]);
     } else if (arg == "--slo" || arg == "--mode" || arg == "--emit" ||
-               arg == "--trace" || arg == "--deploy-threads") {
+               arg == "--trace" || arg == "--deploy-threads" ||
+               arg == "--faults" || arg == "--retry" ||
+               arg == "--timeout-ms" || arg == "--rps") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (arg.rfind("--", 0) == 0) {
@@ -166,6 +195,48 @@ int main(int argc, char** argv) {
     }
     std::cout << "artifacts written to " << root
               << " (stack.yml, plan.json, deployment.dot, wraps/)\n";
+  }
+
+  if (fault_run) {
+    FaultSpec faults;
+    if (!fault_text.empty()) {
+      try {
+        faults = parse_fault_spec(fault_text);
+      } catch (const std::exception& e) {
+        std::cerr << "fault spec error: " << e.what() << "\n";
+        return 2;
+      }
+    }
+    ClusterConfig cluster;
+    cluster.offered_rps = offered_rps;
+    cluster.faults = faults;
+    cluster.retry.max_attempts = retry_attempts > 0 ? retry_attempts : 3;
+    cluster.retry.timeout_ms = timeout_ms;
+    cluster.metrics = &obs::MetricsRegistry::global();
+
+    RuntimeParams params;
+    WrapPlanBackend backend("chiron", params, def.workflow, d.plan);
+    ClusterSimulator simulator(cluster, params);
+    const ClusterResult r = simulator.run(backend, 1);
+
+    std::cout << "\nfault run (" << to_string(faults) << "; retry "
+              << cluster.retry.max_attempts << ", timeout "
+              << (timeout_ms > 0.0 ? format_fixed(timeout_ms, 0) + " ms"
+                                   : std::string("off"))
+              << ", " << format_fixed(offered_rps, 0) << " rps)\n";
+    Table outcome({"offered", "completed", "failed", "retried", "timed_out",
+                   "dropped", "p95_ms"});
+    outcome.row()
+        .add_int(static_cast<long long>(r.offered))
+        .add_int(static_cast<long long>(r.completed))
+        .add_int(static_cast<long long>(r.failed))
+        .add_int(static_cast<long long>(r.retried))
+        .add_int(static_cast<long long>(r.timed_out))
+        .add_int(static_cast<long long>(r.dropped))
+        .add(format_fixed(r.p95_ms, 1));
+    outcome.print(std::cout);
+    std::cout << "goodput " << format_fixed(r.achieved_rps, 1) << " rps of "
+              << format_fixed(offered_rps, 0) << " offered\n";
   }
 
   if (!trace_path.empty()) {

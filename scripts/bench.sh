@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Deploy-path benchmark runner: builds the Release tree, runs the
-# micro_pgp + micro_predictor suites in google-benchmark JSON mode, and
+# micro_pgp + micro_predictor + micro_fault suites in google-benchmark
+# JSON mode, and
 # folds the results into BENCH_deploy.json at the repo root so the perf
 # trajectory is tracked PR-over-PR.
 #
@@ -31,7 +32,7 @@ done
 echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
 cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
-  --target bench_micro_pgp bench_micro_predictor
+  --target bench_micro_pgp bench_micro_predictor bench_micro_fault
 
 if [[ "${SMOKE}" == "1" ]]; then
   # One tiny repetition per suite: proves the binaries run and produce
@@ -43,12 +44,16 @@ if [[ "${SMOKE}" == "1" ]]; then
   "${BENCH_BUILD_DIR}/bench/bench_micro_predictor" \
     --benchmark_filter='BM_WorkflowPrediction/5$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_fault" \
+    --benchmark_filter='BM_FaultInjectorRoll$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
   echo "== bench: smoke OK =="
   exit 0
 fi
 
 PGP_JSON="${BENCH_BUILD_DIR}/micro_pgp.json"
 PRED_JSON="${BENCH_BUILD_DIR}/micro_predictor.json"
+FAULT_JSON="${BENCH_BUILD_DIR}/micro_fault.json"
 
 echo "== bench: micro_pgp =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
@@ -58,16 +63,22 @@ echo "== bench: micro_predictor =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_predictor" \
   --benchmark_format=json --benchmark_out="${PRED_JSON}" \
   --benchmark_out_format=json
+echo "== bench: micro_fault =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_fault" \
+  --benchmark_format=json --benchmark_out="${FAULT_JSON}" \
+  --benchmark_out_format=json
 
-python3 - "$PGP_JSON" "$PRED_JSON" "$BASELINE" <<'PY'
+python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$BASELINE" <<'PY'
 import json, sys
 
-pgp_path, pred_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+pgp_path, pred_path, fault_path, baseline_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 out = {
     "bench": "deploy",
     "build_type": "Release",
     "micro_pgp": json.load(open(pgp_path)),
     "micro_predictor": json.load(open(pred_path)),
+    "micro_fault": json.load(open(fault_path)),
 }
 if baseline_path:
     out["baseline"] = json.load(open(baseline_path))

@@ -1,8 +1,10 @@
 #include "core/chiron.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "metrics/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -30,10 +32,86 @@ void record_deploy_metrics(const Deployment& d) {
 
 }  // namespace
 
+SloMonitor::SloMonitor(SloMonitorConfig config) : config_(config) {
+  if (config_.window == 0) throw std::invalid_argument("window must be > 0");
+}
+
+void SloMonitor::record(TimeMs latency_ms, bool ok) {
+  window_.push_back({ok ? latency_ms : 0.0, ok});
+  if (!ok) ++failures_;
+  if (window_.size() > config_.window) {
+    if (!window_.front().ok) --failures_;
+    window_.pop_front();
+  }
+}
+
+double SloMonitor::failure_rate() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(failures_) /
+         static_cast<double>(window_.size());
+}
+
+TimeMs SloMonitor::p95_ms() const {
+  std::vector<double> ok_latencies;
+  ok_latencies.reserve(window_.size());
+  for (const Sample& s : window_) {
+    if (s.ok) ok_latencies.push_back(s.latency_ms);
+  }
+  if (ok_latencies.empty()) return 0.0;
+  return percentile(std::move(ok_latencies), 95.0);
+}
+
+bool SloMonitor::violated(TimeMs slo_ms) const {
+  if (!warmed_up()) return false;
+  return failure_rate() > config_.max_failure_rate || p95_ms() > slo_ms;
+}
+
 Chiron::Chiron(ChironConfig config)
     : config_(std::move(config)), rng_(config_.seed) {}
 
 Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
+  return deploy_internal(wf, slo_ms, 1.0, false);
+}
+
+Deployment Chiron::deploy_degraded(const Workflow& wf, TimeMs slo_ms,
+                                   double inflation, bool force_one_to_one) {
+  if (inflation < 1.0 || !std::isfinite(inflation)) {
+    throw std::invalid_argument("inflation must be >= 1");
+  }
+  return deploy_internal(wf, slo_ms, inflation, force_one_to_one);
+}
+
+std::optional<Deployment> Chiron::replan_if_degraded(const SloMonitor& monitor,
+                                                     const Workflow& wf,
+                                                     TimeMs slo_ms,
+                                                     const Deployment& current) {
+  if (!monitor.violated(slo_ms)) return std::nullopt;
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  if (monitor.failure_rate() > monitor.config().max_failure_rate) {
+    // The wrap plan itself is a liability: one crashing thread kills all
+    // its co-residents. Retreat to the smallest blast radius.
+    m.counter("chiron.degrade.fallbacks").inc();
+    return deploy_degraded(wf, slo_ms, 1.0, /*force_one_to_one=*/true);
+  }
+  // Latency-only violation: the world is slower than the profiles said
+  // (stragglers, contention). The observed-over-predicted ratio is the
+  // slowdown the profiles missed; replan budgeting for it, plus a safety
+  // margin so the recovered p95 — which still carries the same slowdown —
+  // lands at ~SLO/margin instead of on the SLO. Capped: past ~32x the
+  // prediction is unrecoverable by planning.
+  constexpr double kSafetyMargin = 1.3;
+  constexpr double kMaxInflation = 32.0;
+  const double predicted = std::max(current.predicted_latency_ms, 1e-9);
+  const double slowdown = monitor.p95_ms() / predicted;
+  const double inflation =
+      std::clamp(slowdown * kSafetyMargin, 1.0, kMaxInflation);
+  m.counter("chiron.degrade.replans").inc();
+  m.gauge("chiron.degrade.inflation").set(inflation);
+  return deploy_degraded(wf, slo_ms, inflation);
+}
+
+Deployment Chiron::deploy_internal(const Workflow& wf, TimeMs slo_ms,
+                                   double inflation, bool force_one_to_one) {
   if (slo_ms <= 0.0) throw std::invalid_argument("SLO must be positive");
   wf.validate();
 
@@ -42,6 +120,9 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
                               {{"slo_ms", slo_ms}});
 
   Deployment deployment;
+  deployment.profile_inflation = inflation;
+  deployment.fell_back_one_to_one = force_one_to_one;
+  deployment.degraded = force_one_to_one || inflation != 1.0;
 
   // Step 2 (Fig. 9): profile every function solo.
   std::vector<FunctionBehavior> behaviors;
@@ -51,11 +132,30 @@ Deployment Chiron::deploy(const Workflow& wf, TimeMs slo_ms) {
     deployment.profiles = profiler.profile_workflow(wf);
     behaviors = Profiler::behaviors(deployment.profiles);
   }
+  if (inflation != 1.0) {
+    // Degraded replan: plan for the slowdown the SloMonitor observed,
+    // not the optimistic solo profiles.
+    for (FunctionBehavior& b : behaviors) b = b.scaled(inflation);
+  }
 
   const Runtime runtime =
       wf.function_count() > 0 ? wf.function(0).runtime : Runtime::kPython3;
 
-  if (config_.mode == IsolationMode::kPool) {
+  if (force_one_to_one) {
+    // Fallback: one sandbox per function, no sharing. Predict its latency
+    // honestly so callers can see what the retreat costs.
+    obs::ScopedSpan span(tracer, "one_to_one_fallback", "deploy");
+    Predictor predictor(
+        PredictorConfig{config_.params, runtime, config_.conservative_factor,
+                        config_.prediction_cache},
+        behaviors);
+    WrapPlan plan = one_to_one_plan(wf);
+    deployment.predicted_latency_ms = predictor.workflow_latency(plan);
+    deployment.slo_met = deployment.predicted_latency_ms <= slo_ms;
+    deployment.processes = plan.peak_stage_functions();
+    deployment.plan = std::move(plan);
+    predictor.publish_cache_metrics();
+  } else if (config_.mode == IsolationMode::kPool) {
     // §4: pool workers give true parallelism with negligible startup, so
     // all functions share a single wrap; only the CPU allocation is tuned.
     obs::ScopedSpan span(tracer, "pool_plan", "deploy");

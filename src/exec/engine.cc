@@ -9,9 +9,66 @@
 
 #include "common/log.h"
 #include "exec/emulated_gil.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace chiron {
+namespace {
+
+// Cuts a behaviour at `at` milliseconds into its solo execution: the
+// segments before the cut survive, the segment straddling it is shortened.
+FunctionBehavior truncate_behavior(const FunctionBehavior& behavior,
+                                   TimeMs at) {
+  std::vector<Segment> kept;
+  TimeMs elapsed = 0.0;
+  for (const Segment& seg : behavior.segments()) {
+    if (elapsed + seg.duration >= at) {
+      Segment cut = seg;
+      cut.duration = std::max<TimeMs>(0.0, at - elapsed);
+      if (cut.duration > 0.0) kept.push_back(cut);
+      break;
+    }
+    kept.push_back(seg);
+    elapsed += seg.duration;
+  }
+  return FunctionBehavior(std::move(kept));
+}
+
+void note_live_fault(FaultKind kind) {
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  m.counter("chiron.fault.injected").inc();
+  m.counter(std::string("chiron.fault.injected.") + to_string(kind)).inc();
+}
+
+}  // namespace
+
+LiveFaultReport apply_faults(std::vector<ThreadTask>& tasks,
+                             const FaultInjector& injector,
+                             std::uint64_t request_id) {
+  LiveFaultReport report;
+  report.crashed.assign(tasks.size(), false);
+  if (!injector.enabled()) return report;
+  const FaultSpec& spec = injector.spec();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::uint64_t cell = i + 1;
+    if (injector.straggles(request_id, cell)) {
+      tasks[i].behavior =
+          tasks[i].behavior.scaled(spec.straggler_multiplier);
+      ++report.stragglers;
+      note_live_fault(FaultKind::kStraggler);
+    }
+    if (injector.crashes(request_id, cell)) {
+      tasks[i].behavior = truncate_behavior(
+          tasks[i].behavior,
+          tasks[i].behavior.solo_latency() * spec.crash_point);
+      report.crashed[i] = true;
+      ++report.crashes;
+      note_live_fault(FaultKind::kCrash);
+    }
+  }
+  return report;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;

@@ -43,16 +43,25 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+namespace {
+
+// Linear-interpolation percentile over an already-sorted sample.
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("p out of [0,100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile of empty set");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("p out of [0,100]");
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values.front();
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return percentile_of_sorted(values, p);
 }
 
 double mean_of(const std::vector<double>& values) {
@@ -75,7 +84,9 @@ double Cdf::at(double x) const {
 
 double Cdf::quantile(double q) const {
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("q out of [0,1]");
-  return percentile(sorted_, q * 100.0);
+  // sorted_ is sorted at construction: index it directly instead of the
+  // old copy + re-sort that made every quantile query O(n log n).
+  return percentile_of_sorted(sorted_, q * 100.0);
 }
 
 }  // namespace chiron

@@ -49,7 +49,8 @@ class Cdf {
   /// Fraction of samples <= x, in [0, 1].
   double at(double x) const;
 
-  /// Inverse CDF (quantile) for q in [0, 1].
+  /// Inverse CDF (quantile) for q in [0, 1]. O(1): indexes the sorted
+  /// sample directly (agrees exactly with percentile(samples, q * 100)).
   double quantile(double q) const;
 
   const std::vector<double>& sorted() const { return sorted_; }

@@ -1,6 +1,16 @@
 #include "platform/backend.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace chiron {
+
+void note_backend_fault(FaultKind kind) {
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  m.counter("chiron.fault.injected").inc();
+  m.counter(std::string("chiron.fault.injected.") + to_string(kind)).inc();
+}
 
 TimeMs Backend::mean_latency(Rng& rng, int runs) const {
   if (runs <= 0) return 0.0;

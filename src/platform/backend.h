@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "runtime/gil.h"
 #include "runtime/resources.h"
 #include "workflow/workflow.h"
@@ -66,7 +67,21 @@ struct NoiseConfig {
   /// fork costs block * (1 + min(skew * j / 2, 0.25)); the k-th invocation
   /// likewise (the dilation saturates at +25 %).
   double model_skew = 0.012;
+  /// Optional fault oracle (not owned; null or all-zero spec = healthy).
+  /// Backends draw fault decisions from the run's Rng only when a kind is
+  /// armed, so a disabled injector is byte-identical to no injector.
+  /// Straggler faults dilate execution (whole-run for wrap deployments —
+  /// one instance serves the request; per-function for one-to-one);
+  /// transfer faults add the spec's transparent-retry latency to one
+  /// storage/RPC hop. Crashes are attempt-level events recovered by the
+  /// ClusterSimulator's retry policy, not modeled here.
+  const FaultInjector* faults = nullptr;
 };
+
+/// Increments chiron.fault.injected[.<kind>] on the global
+/// MetricsRegistry — the sink backends report injected faults to (unlike
+/// the ClusterSimulator they carry no injected registry of their own).
+void note_backend_fault(FaultKind kind);
 
 /// A deployed system serving one workflow.
 class Backend {

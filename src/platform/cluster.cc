@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 #include <functional>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/log.h"
@@ -28,16 +30,20 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
   const ResourceUsage usage = backend.resources();
 
   // Instances the cluster can host; a deployment larger than one node
-  // spans nodes, so capacity is computed cluster-wide.
+  // spans nodes, so capacity is computed cluster-wide. Each resource
+  // dimension bounds capacity independently: a memory-only (or cpu-only)
+  // deployment is limited by its nonzero dimension alone.
   const double total_cpus =
       static_cast<double>(params_.node_cpus * config_.nodes);
   const double total_mem = params_.node_memory_mb *
                            static_cast<double>(config_.nodes);
-  std::size_t max_instances = 0;
-  if (usage.cpus > 0.0 && usage.memory_mb > 0.0) {
-    max_instances = static_cast<std::size_t>(
-        std::min(total_cpus / usage.cpus, total_mem / usage.memory_mb));
+  double capacity = std::numeric_limits<double>::infinity();
+  if (usage.cpus > 0.0) capacity = std::min(capacity, total_cpus / usage.cpus);
+  if (usage.memory_mb > 0.0) {
+    capacity = std::min(capacity, total_mem / usage.memory_mb);
   }
+  std::size_t max_instances =
+      std::isfinite(capacity) ? static_cast<std::size_t>(capacity) : 0;
   max_instances = std::max<std::size_t>(1, max_instances);
 
   Rng rng(config_.seed);
@@ -48,6 +54,10 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
 
   ClusterResult result;
   result.offered = arrival_times.size();
+
+  const FaultInjector injector(config_.faults);
+  const RetryPolicy& retry = config_.retry;
+  const bool has_timeout = retry.timeout_ms > 0.0;
 
   // Observability sinks: all cluster events carry *simulated* timestamps.
   obs::Tracer* tracer =
@@ -61,15 +71,52 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       metrics ? &metrics->gauge("cluster.queue_depth") : nullptr;
   obs::Histogram* latency_hist =
       metrics ? &metrics->histogram("cluster.e2e_latency_ms") : nullptr;
-  std::uint64_t next_request_id = 0;
+  obs::Counter* fault_counter =
+      metrics ? &metrics->counter("chiron.fault.injected") : nullptr;
+  obs::Counter* retry_counter =
+      metrics ? &metrics->counter("chiron.retry.attempts") : nullptr;
+  obs::Counter* timeout_counter =
+      metrics ? &metrics->counter("chiron.request.timeout") : nullptr;
+
+  auto count_fault = [&](FaultKind kind, TimeMs now) {
+    if (fault_counter) fault_counter->inc();
+    if (metrics) {
+      metrics
+          ->counter(std::string("chiron.fault.injected.") + to_string(kind))
+          .inc();
+    }
+    if (tracer) {
+      tracer->instant_at(std::string("fault.") + to_string(kind), "fault",
+                         obs::kVirtualPid, request_track, now);
+    }
+  };
 
   // Instance states: warm holds the idle-since time of each resident but
   // idle instance.
   std::vector<TimeMs> warm;
   std::size_t live = 0;             // busy + warm instances
   std::size_t busy = 0;
-  // Waiting requests: {arrival time, request id}.
-  std::deque<std::pair<TimeMs, std::uint64_t>> queue;
+
+  // Per-request recovery state. A request is terminal (kDone) exactly once:
+  // completed, timed out, or dropped after max_attempts.
+  struct ReqState {
+    TimeMs arrival = 0.0;
+    std::uint32_t attempt = 1;
+    enum class Phase : std::uint8_t {
+      kWaiting,   ///< arrival not yet processed
+      kQueued,    ///< waiting for capacity
+      kRunning,   ///< on an instance (pending_ev = completion or crash)
+      kBackoff,   ///< waiting to re-attempt (pending_ev = retry)
+      kDone,
+    } phase = Phase::kWaiting;
+    EventQueue::Handle pending_ev = 0;
+    EventQueue::Handle timeout_ev = 0;
+    bool has_timeout_ev = false;
+  };
+  std::vector<ReqState> reqs(arrival_times.size());
+
+  // Waiting request ids; timed-out entries are erased eagerly.
+  std::deque<std::uint64_t> queue;
 
   auto note_queue_depth = [&](TimeMs now) {
     if (queue_gauge) queue_gauge->set(static_cast<double>(queue.size()));
@@ -106,74 +153,216 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     }
   };
 
-  // Forward declaration trick: start_request schedules completion, which
-  // may start queued requests.
-  std::function<void(TimeMs, std::uint64_t, TimeMs)> start_request =
-      [&](TimeMs arrival, std::uint64_t id, TimeMs now) {
-        account(now);
-        reap(now);
-        TimeMs startup = 0.0;
-        if (!warm.empty()) {
-          warm.pop_back();  // LIFO keeps hot instances hot
-        } else if (live < max_instances) {
-          ++live;
-          result.peak_instances = std::max(result.peak_instances, live);
-          ++result.cold_starts;
-          startup = cold_penalty;
-          if (cold_counter) cold_counter->inc();
-          if (tracer) {
-            tracer->instant_at("cluster.cold_start", "sim", obs::kVirtualPid,
-                               request_track, now);
-          }
-        } else {
-          queue.emplace_back(arrival, id);
-          result.peak_queue = std::max(result.peak_queue, queue.size());
-          note_queue_depth(now);
-          return;
-        }
-        ++busy;
-        const TimeMs service = backend.run(run_rng).e2e_latency_ms;
-        const TimeMs finish = now + startup + service;
-        events.schedule(finish, [&, arrival, id, finish] {
-          account(finish);
-          --busy;
-          latencies.push_back(finish - arrival);
-          ++result.completed;
-          if (latency_hist) latency_hist->observe(finish - arrival);
-          if (tracer) {
-            tracer->async_end_at("request", "sim", obs::kVirtualPid,
-                                 request_track, finish, id);
-          }
-          if (!queue.empty()) {
-            const auto [queued_arrival, queued_id] = queue.front();
-            queue.pop_front();
-            note_queue_depth(finish);
-            // The finishing instance is immediately reused (warm).
-            warm.push_back(finish);
-            start_request(queued_arrival, queued_id, finish);
-          } else {
-            warm.push_back(finish);
-          }
-        });
-      };
+  // Marks `id` terminal and disarms its outstanding timeout.
+  auto finalize = [&](std::uint64_t id) {
+    ReqState& r = reqs[id];
+    r.phase = ReqState::Phase::kDone;
+    if (r.has_timeout_ev) {
+      events.cancel(r.timeout_ev);
+      r.has_timeout_ev = false;
+    }
+  };
 
-  for (TimeMs at : arrival_times) {
-    const std::uint64_t id = next_request_id++;
+  auto end_request_span = [&](std::uint64_t id, TimeMs now) {
+    if (tracer) {
+      tracer->async_end_at("request", "sim", obs::kVirtualPid, request_track,
+                           now, id);
+    }
+  };
+
+  // Pops the next still-live queued request, skipping tombstones left by
+  // timeouts (defensive: timeouts erase eagerly, so skips are rare).
+  auto take_queued = [&]() -> std::optional<std::uint64_t> {
+    while (!queue.empty()) {
+      const std::uint64_t id = queue.front();
+      queue.pop_front();
+      if (reqs[id].phase == ReqState::Phase::kQueued) return id;
+    }
+    return std::nullopt;
+  };
+
+  // Forward declarations: the recovery paths are mutually recursive
+  // (completion -> queued handoff -> service; crash -> retry -> start).
+  std::function<void(std::uint64_t, TimeMs)> start_request;
+  std::function<void(std::uint64_t, TimeMs, TimeMs)> begin_service;
+
+  // Handles one failed attempt at time `t`: schedules a capped-exponential
+  // backoff retry, or drops the request once attempts are exhausted.
+  auto fail_attempt = [&](std::uint64_t id, TimeMs t, TimeMs extra_delay) {
+    ReqState& r = reqs[id];
+    ++result.failed;
+    if (r.attempt < retry.max_attempts) {
+      ++result.retried;
+      if (retry_counter) retry_counter->inc();
+      const TimeMs backoff = injector.retry_backoff_ms(retry, r.attempt, id);
+      if (tracer) {
+        tracer->complete_at("retry.backoff", "fault", obs::kVirtualPid,
+                            request_track, t, extra_delay + backoff,
+                            {{"attempt", static_cast<double>(r.attempt)}});
+      }
+      ++r.attempt;
+      r.phase = ReqState::Phase::kBackoff;
+      r.pending_ev = events.schedule(
+          t + extra_delay + backoff,
+          [&, id] { start_request(id, events.now()); });
+    } else {
+      ++result.dropped;
+      finalize(id);
+      end_request_span(id, t);
+    }
+  };
+
+  // Places `id` on an instance at `now` (startup = 0 for warm reuse) and
+  // schedules its completion — or its mid-execution crash.
+  begin_service = [&](std::uint64_t id, TimeMs now, TimeMs startup) {
+    ReqState& r = reqs[id];
+    r.phase = ReqState::Phase::kRunning;
+    ++busy;
+    TimeMs service = backend.run(run_rng).e2e_latency_ms;
+    if (injector.straggles(id, r.attempt)) {
+      service *= config_.faults.straggler_multiplier;
+      count_fault(FaultKind::kStraggler, now);
+    }
+    if (injector.crashes(id, r.attempt)) {
+      const TimeMs crash_at =
+          now + startup + service * config_.faults.crash_point;
+      r.pending_ev = events.schedule(crash_at, [&, id, crash_at] {
+        account(crash_at);
+        --busy;
+        --live;  // the crash takes the sandbox with it
+        count_fault(FaultKind::kCrash, crash_at);
+        fail_attempt(id, crash_at, 0.0);
+        // The crash freed a slot: a queued request can now cold-start.
+        if (const auto qid = take_queued()) {
+          note_queue_depth(crash_at);
+          start_request(*qid, crash_at);
+        }
+      });
+      return;
+    }
+    const TimeMs finish = now + startup + service;
+    r.pending_ev = events.schedule(finish, [&, id, finish] {
+      account(finish);
+      --busy;
+      const TimeMs latency = finish - reqs[id].arrival;
+      latencies.push_back(latency);
+      ++result.completed;
+      finalize(id);
+      if (latency_hist) latency_hist->observe(latency);
+      end_request_span(id, finish);
+      if (const auto qid = take_queued()) {
+        note_queue_depth(finish);
+        // The finishing instance is handed to the queued request directly:
+        // it never visits the warm pool, so reap() cannot reclaim it out
+        // from under the handoff (the keep_alive_ms == 0 cold-start bug).
+        reap(finish);
+        begin_service(*qid, finish, 0.0);
+      } else {
+        warm.push_back(finish);
+      }
+    });
+  };
+
+  start_request = [&](std::uint64_t id, TimeMs now) {
+    account(now);
+    reap(now);
+    ReqState& r = reqs[id];
+    if (!warm.empty()) {
+      warm.pop_back();  // LIFO keeps hot instances hot
+      begin_service(id, now, 0.0);
+    } else if (live < max_instances) {
+      if (injector.cold_start_fails(id, r.attempt)) {
+        // The sandbox dies during boot: the boot time is still paid (it
+        // delays the retry) but no instance comes up.
+        count_fault(FaultKind::kColdStart, now);
+        fail_attempt(id, now, cold_penalty);
+        return;
+      }
+      ++live;
+      result.peak_instances = std::max(result.peak_instances, live);
+      ++result.cold_starts;
+      if (cold_counter) cold_counter->inc();
+      if (tracer) {
+        tracer->instant_at("cluster.cold_start", "sim", obs::kVirtualPid,
+                           request_track, now);
+      }
+      begin_service(id, now, cold_penalty);
+    } else {
+      r.phase = ReqState::Phase::kQueued;
+      queue.push_back(id);
+      result.peak_queue = std::max(result.peak_queue, queue.size());
+      note_queue_depth(now);
+    }
+  };
+
+  // Abandons `id` at its deadline, wherever it is.
+  auto on_timeout = [&](std::uint64_t id, TimeMs deadline) {
+    ReqState& r = reqs[id];
+    r.has_timeout_ev = false;
+    ++result.timed_out;
+    if (timeout_counter) timeout_counter->inc();
+    if (tracer) {
+      tracer->instant_at("request.timeout", "fault", obs::kVirtualPid,
+                         request_track, deadline);
+    }
+    switch (r.phase) {
+      case ReqState::Phase::kQueued: {
+        const auto it = std::find(queue.begin(), queue.end(), id);
+        if (it != queue.end()) queue.erase(it);
+        note_queue_depth(deadline);
+        break;
+      }
+      case ReqState::Phase::kRunning: {
+        // The platform aborts the handler but keeps the sandbox.
+        events.cancel(r.pending_ev);
+        account(deadline);
+        --busy;
+        if (const auto qid = take_queued()) {
+          note_queue_depth(deadline);
+          reap(deadline);
+          begin_service(*qid, deadline, 0.0);
+        } else {
+          warm.push_back(deadline);
+        }
+        break;
+      }
+      case ReqState::Phase::kBackoff:
+        events.cancel(r.pending_ev);
+        break;
+      default:
+        break;
+    }
+    r.phase = ReqState::Phase::kDone;
+    end_request_span(id, deadline);
+  };
+
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    const TimeMs at = arrival_times[i];
+    const std::uint64_t id = i;
+    reqs[id].arrival = at;
     events.schedule(at, [&, at, id] {
       if (tracer) {
         tracer->async_begin_at("request", "sim", obs::kVirtualPid,
                                request_track, at, id);
       }
-      start_request(at, id, at);
+      if (has_timeout) {
+        reqs[id].has_timeout_ev = true;
+        reqs[id].timeout_ev =
+            events.schedule(at + retry.timeout_ms, [&, id] {
+              on_timeout(id, events.now());
+            });
+      }
+      start_request(id, at);
     });
   }
   events.run();
 
   if (!latencies.empty()) {
     result.mean_ms = mean_of(latencies);
-    result.p50_ms = percentile(latencies, 50.0);
-    result.p95_ms = percentile(latencies, 95.0);
-    result.p99_ms = percentile(latencies, 99.0);
+    const Cdf cdf(latencies);  // one sort for all three quantiles
+    result.p50_ms = cdf.quantile(0.50);
+    result.p95_ms = cdf.quantile(0.95);
+    result.p99_ms = cdf.quantile(0.99);
   }
   const TimeMs span = std::max(last_event, config_.horizon_ms);
   result.achieved_rps =
@@ -186,7 +375,10 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
   }
   CHIRON_LOG(kDebug) << "cluster sim: " << result.completed << "/"
                      << result.offered << " requests, "
-                     << result.cold_starts << " cold starts, peak queue "
+                     << result.cold_starts << " cold starts, "
+                     << result.failed << " faults, " << result.retried
+                     << " retries, " << result.timed_out << " timeouts, "
+                     << result.dropped << " drops, peak queue "
                      << result.peak_queue;
   return result;
 }

@@ -1,6 +1,8 @@
 // Closed-loop cluster simulation: a pool of worker nodes serving an
 // arrival process of workflow requests against a deployed Backend, with
-// instance scale-out, cold starts, keep-alive expiry, and queueing.
+// instance scale-out, cold starts, keep-alive expiry, queueing, and — when
+// a FaultSpec is armed — seeded fault injection with configurable
+// retry/timeout recovery.
 //
 // This complements the analytic node_throughput_rps() model (Fig. 16):
 // it shows *achieved* throughput and tail latency under offered load, and
@@ -10,6 +12,7 @@
 // wraps scale out as one unit.
 #pragma once
 
+#include "fault/fault.h"
 #include "platform/backend.h"
 #include "runtime/params.h"
 #include "workflow/arrivals.h"
@@ -32,20 +35,37 @@ struct ClusterConfig {
   ArrivalKind arrivals = ArrivalKind::kPoisson;
   /// Requests abandoned if still queued at the horizon count as failed.
   std::uint64_t seed = 0xC1057E4;
+  /// Fault model applied to every attempt (all-zero = healthy cluster;
+  /// the healthy run is byte-identical to a build without the fault
+  /// layer). Decisions hash (faults.seed, request, attempt), so a seeded
+  /// faulty run is exactly reproducible.
+  FaultSpec faults;
+  /// Recovery policy: failed attempts back off and retry up to
+  /// max_attempts, then the request is dropped; timeout_ms (if set)
+  /// abandons a request at arrival + timeout_ms wherever it is — queued,
+  /// in service (the completion event is cancelled), or backing off.
+  RetryPolicy retry;
   /// Optional observability sinks (not owned; null = off). The tracer
   /// receives *virtual-time* events (pid kVirtualPid): one async span per
-  /// request, cold-start instants, and queue-depth counter samples. The
-  /// registry receives cluster.cold_starts / cluster.queue_depth /
-  /// cluster.e2e_latency_ms, matching the returned ClusterResult.
+  /// request, cold-start/fault/timeout instants, retry.backoff spans, and
+  /// queue-depth counter samples. The registry receives
+  /// cluster.cold_starts / cluster.queue_depth / cluster.e2e_latency_ms
+  /// plus chiron.fault.injected[.<kind>], chiron.retry.attempts, and
+  /// chiron.request.timeout, matching the returned ClusterResult.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Outcome of one closed-loop run.
+/// Outcome of one closed-loop run. Every offered request reaches exactly
+/// one terminal state: offered == completed + timed_out + dropped.
 struct ClusterResult {
   std::size_t offered = 0;     ///< requests generated
-  std::size_t completed = 0;   ///< finished within the horizon
+  std::size_t completed = 0;   ///< finished within their deadline
   std::size_t cold_starts = 0; ///< instances launched
+  std::size_t failed = 0;      ///< injected attempt failures (cold + crash)
+  std::size_t retried = 0;     ///< retry attempts scheduled
+  std::size_t timed_out = 0;   ///< requests abandoned at their deadline
+  std::size_t dropped = 0;     ///< requests dropped after max_attempts
   double achieved_rps = 0.0;
   TimeMs mean_ms = 0.0;        ///< mean end-to-end (incl. queueing + cold)
   TimeMs p50_ms = 0.0;

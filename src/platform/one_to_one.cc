@@ -30,6 +30,18 @@ RunResult OneToOneBackend::run(Rng& rng) const {
   RunResult result;
   const double run_scale =
       noise_.run_sigma > 0.0 ? rng.jitter(noise_.run_sigma) : 1.0;
+  const FaultInjector* faults =
+      noise_.faults && noise_.faults->enabled() ? noise_.faults : nullptr;
+  // Transient storage error on one transfer: the client library retries
+  // transparently at a fixed latency cost.
+  auto transfer_fault = [&](TimeMs latency) -> TimeMs {
+    if (faults && faults->spec().transfer_error > 0.0 &&
+        rng.uniform() < faults->spec().transfer_error) {
+      note_backend_fault(FaultKind::kTransfer);
+      return latency + faults->spec().transfer_retry_ms;
+    }
+    return latency;
+  };
   TimeMs t = 0.0;
   Bytes upstream_bytes = 0;       // intermediate data the stage must pull
   std::size_t upstream_objects = 0;  // one stored object per predecessor
@@ -47,7 +59,8 @@ RunResult OneToOneBackend::run(Rng& rng) const {
       const Bytes avg_obj = upstream_bytes / upstream_objects;
       const double effective_requests =
           1.0 + 0.5 * static_cast<double>(upstream_objects - 1);
-      pull = jit(transfer_.latency_ms(avg_obj) * effective_requests, rng);
+      pull = transfer_fault(
+          jit(transfer_.latency_ms(avg_obj) * effective_requests, rng));
     }
 
     TimeMs stage_latency = 0.0;
@@ -59,6 +72,14 @@ RunResult OneToOneBackend::run(Rng& rng) const {
       const TimeMs dispatch =
           sched_total * static_cast<TimeMs>(k + 1) / static_cast<TimeMs>(n);
       const TimeMs invoke = jit(params_.sandbox_invoke_ms, rng);
+      // One-to-one: each function has its own sandbox, so a straggling
+      // instance dilates only that function.
+      double straggle = 1.0;
+      if (faults && faults->spec().straggler > 0.0 &&
+          rng.uniform() < faults->spec().straggler) {
+        straggle = faults->spec().straggler_multiplier;
+        note_backend_fault(FaultKind::kStraggler);
+      }
       TimeMs exec = 0.0;
       FunctionTimeline tl;
       tl.id = f;
@@ -69,7 +90,7 @@ RunResult OneToOneBackend::run(Rng& rng) const {
         // behaviour directly.
         TimeMs cursor = tl.start_exec_ms;
         for (const Segment& seg : spec.behavior.segments()) {
-          const TimeMs d = jit(seg.duration, rng);
+          const TimeMs d = jit(seg.duration, rng) * straggle;
           tl.spans.push_back({seg.kind == Segment::Kind::kCpu
                                   ? TimelineSpan::Kind::kCpu
                                   : TimelineSpan::Kind::kBlock,
@@ -79,9 +100,11 @@ RunResult OneToOneBackend::run(Rng& rng) const {
         }
       }
       // Results of non-final stages are pushed to storage for successors.
-      const TimeMs push = s + 1 < wf_.stage_count()
-                              ? jit(transfer_.latency_ms(spec.output_bytes), rng)
-                              : 0.0;
+      const TimeMs push =
+          s + 1 < wf_.stage_count()
+              ? transfer_fault(
+                    jit(transfer_.latency_ms(spec.output_bytes), rng))
+              : 0.0;
       tl.finish_ms = tl.start_exec_ms + exec + push;
       stage_latency = std::max(stage_latency, tl.finish_ms - t);
       stage_output += spec.output_bytes;

@@ -233,8 +233,17 @@ WrapPlanBackend::WrapOutcome WrapPlanBackend::simulate_wrap(const Wrap& w,
 RunResult WrapPlanBackend::run(Rng& rng) const {
   RunResult result;
   // Whole-run load factor: one correlated multiplier per request.
-  const double run_scale =
+  double run_scale =
       noise_.run_sigma > 0.0 ? rng.jitter(noise_.run_sigma) : 1.0;
+  // Injected straggler: one instance serves the whole wrap deployment, so
+  // a straggling instance dilates the entire request.
+  const FaultInjector* faults =
+      noise_.faults && noise_.faults->enabled() ? noise_.faults : nullptr;
+  if (faults && faults->spec().straggler > 0.0 &&
+      rng.uniform() < faults->spec().straggler) {
+    run_scale *= faults->spec().straggler_multiplier;
+    note_backend_fault(FaultKind::kStraggler);
+  }
   TimeMs t = 0.0;
   for (const StagePlan& sp : plan_.stages) {
     TimeMs stage_latency = 0.0;
@@ -249,6 +258,13 @@ RunResult WrapPlanBackend::run(Rng& rng) const {
                      : static_cast<TimeMs>(k - 1) *
                                jit(params_.inv_ms * skew, rng) +
                            jit(params_.rpc_ms, rng);
+        // Transient RPC/payload error on this wrap invocation: the
+        // storage layer retries transparently at a fixed latency cost.
+        if (faults && faults->spec().transfer_error > 0.0 &&
+            rng.uniform() < faults->spec().transfer_error) {
+          offset += faults->spec().transfer_retry_ms;
+          note_backend_fault(FaultKind::kTransfer);
+        }
       }
       WrapOutcome outcome = simulate_wrap(sp.wraps[k], rng);
       stage_latency = std::max(stage_latency, offset + outcome.latency);

@@ -5,15 +5,25 @@
 
 namespace chiron {
 
-void EventQueue::schedule(TimeMs at, Callback cb) {
+EventQueue::Handle EventQueue::schedule(TimeMs at, Callback cb) {
   if (at < now_) {
     throw std::invalid_argument("cannot schedule an event in the past");
   }
-  heap_.push(Entry{at, next_seq_++, std::move(cb)});
+  const Handle handle = next_seq_++;
+  heap_.push(Entry{at, handle, std::move(cb)});
+  pending_.insert(handle);
+  return handle;
 }
 
-void EventQueue::schedule_in(TimeMs delay, Callback cb) {
-  schedule(now_ + delay, std::move(cb));
+EventQueue::Handle EventQueue::schedule_in(TimeMs delay, Callback cb) {
+  return schedule(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(Handle handle) {
+  if (pending_.erase(handle) == 0) return false;
+  // The heap entry stays behind as a tombstone and is skipped when popped.
+  cancelled_.insert(handle);
+  return true;
 }
 
 TimeMs EventQueue::run() {
@@ -21,6 +31,8 @@ TimeMs EventQueue::run() {
     // Copy out before pop: the callback may schedule new events.
     Entry entry = heap_.top();
     heap_.pop();
+    if (cancelled_.erase(entry.seq) > 0) continue;
+    pending_.erase(entry.seq);
     now_ = entry.at;
     entry.cb();
   }
@@ -31,6 +43,8 @@ TimeMs EventQueue::run_until(TimeMs horizon) {
   while (!heap_.empty() && heap_.top().at <= horizon) {
     Entry entry = heap_.top();
     heap_.pop();
+    if (cancelled_.erase(entry.seq) > 0) continue;
+    pending_.erase(entry.seq);
     now_ = entry.at;
     entry.cb();
   }

@@ -1,11 +1,13 @@
 // A minimal deterministic discrete-event engine: time-ordered callbacks
-// with FIFO tie-breaking. Used by the closed-loop throughput simulator and
-// available to examples for custom experiments.
+// with FIFO tie-breaking and cancellation handles. Used by the closed-loop
+// throughput simulator (timeouts cancel in-flight completions and vice
+// versa) and available to examples for custom experiments.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -18,18 +20,26 @@ namespace chiron {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Identifies one scheduled event; valid until it runs or is cancelled.
+  using Handle = std::uint64_t;
 
-  /// Schedules `cb` at absolute simulated time `at` (>= now()).
-  void schedule(TimeMs at, Callback cb);
+  /// Schedules `cb` at absolute simulated time `at` (>= now()). The
+  /// returned handle can be passed to cancel() while the event is pending.
+  Handle schedule(TimeMs at, Callback cb);
 
   /// Schedules `cb` at now() + delay.
-  void schedule_in(TimeMs delay, Callback cb);
+  Handle schedule_in(TimeMs delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event had not yet run
+  /// (its callback will never fire); false if it already ran, was already
+  /// cancelled, or the handle is unknown.
+  bool cancel(Handle handle);
 
   /// Current simulated time.
   TimeMs now() const { return now_; }
 
-  /// Number of pending events.
-  std::size_t pending() const { return heap_.size(); }
+  /// Number of pending (scheduled, not yet run or cancelled) events.
+  std::size_t pending() const { return pending_.size(); }
 
   /// Runs events until the queue is empty. Returns final time.
   TimeMs run();
@@ -52,6 +62,8 @@ class EventQueue {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;    ///< scheduled, not run
+  std::unordered_set<std::uint64_t> cancelled_;  ///< tombstones in heap_
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -1,0 +1,171 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace chiron {
+namespace {
+
+TEST(FaultSpecTest, DefaultIsHealthy) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  const FaultInjector injector(spec);
+  EXPECT_FALSE(injector.enabled());
+  // A disabled injector never fires, whatever the decision cell.
+  for (std::uint64_t e = 0; e < 50; ++e) {
+    EXPECT_FALSE(injector.cold_start_fails(e, 1));
+    EXPECT_FALSE(injector.crashes(e, 1));
+    EXPECT_FALSE(injector.straggles(e, 1));
+    EXPECT_FALSE(injector.transfer_fails(e, 1));
+  }
+}
+
+TEST(FaultSpecTest, AnyNonZeroKindEnables) {
+  FaultSpec spec;
+  spec.crash = 0.01;
+  EXPECT_TRUE(spec.enabled());
+  spec = FaultSpec{};
+  spec.transfer_error = 0.5;
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(FaultInjectorTest, RollIsDeterministicPerCell) {
+  FaultSpec spec;
+  spec.straggler = 0.3;
+  spec.seed = 42;
+  const FaultInjector a(spec);
+  const FaultInjector b(spec);
+  for (std::uint64_t e = 0; e < 100; ++e) {
+    for (std::uint64_t attempt = 1; attempt <= 3; ++attempt) {
+      EXPECT_DOUBLE_EQ(a.roll(FaultKind::kStraggler, e, attempt),
+                       b.roll(FaultKind::kStraggler, e, attempt));
+    }
+  }
+}
+
+TEST(FaultInjectorTest, CellsAreIndependent) {
+  FaultSpec spec;
+  spec.seed = 7;
+  const FaultInjector inj(spec);
+  std::set<double> rolls;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    for (std::uint64_t attempt = 1; attempt <= 3; ++attempt) {
+      for (FaultKind kind : {FaultKind::kColdStart, FaultKind::kCrash,
+                             FaultKind::kStraggler, FaultKind::kTransfer}) {
+        const double u = inj.roll(kind, e, attempt);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        rolls.insert(u);
+      }
+    }
+  }
+  // 240 distinct cells should yield 240 distinct uniforms.
+  EXPECT_EQ(rolls.size(), 240u);
+}
+
+TEST(FaultInjectorTest, SeedChangesDecisions) {
+  FaultSpec a_spec;
+  a_spec.crash = 0.5;
+  a_spec.seed = 1;
+  FaultSpec b_spec = a_spec;
+  b_spec.seed = 2;
+  const FaultInjector a(a_spec);
+  const FaultInjector b(b_spec);
+  int differing = 0;
+  for (std::uint64_t e = 0; e < 200; ++e) {
+    if (a.crashes(e, 1) != b.crashes(e, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, RateMatchesProbability) {
+  FaultSpec spec;
+  spec.crash = 0.2;
+  const FaultInjector inj(spec);
+  int fired = 0;
+  const int n = 10000;
+  for (int e = 0; e < n; ++e) {
+    if (inj.crashes(static_cast<std::uint64_t>(e), 1)) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedExponential) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(1, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(2, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(3, 0.5), 40.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(4, 0.5), 80.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(5, 0.5), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(60, 0.5), 100.0);  // no overflow
+}
+
+TEST(RetryPolicyTest, JitterStaysInBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 10000.0;
+  policy.jitter = 0.2;
+  FaultSpec spec;
+  spec.seed = 3;
+  const FaultInjector inj(spec);
+  for (std::uint64_t e = 0; e < 200; ++e) {
+    const TimeMs b = inj.retry_backoff_ms(policy, 1, e);
+    EXPECT_GE(b, 10.0 * 0.8);
+    EXPECT_LE(b, 10.0 * 1.2);
+  }
+}
+
+TEST(FaultSpecTest, ParseRoundTrips) {
+  const FaultSpec spec = parse_fault_spec(
+      "cold=0.1,crash=0.05@0.3,straggler=0.2x4,transfer=0.1,seed=7");
+  EXPECT_DOUBLE_EQ(spec.cold_start_failure, 0.1);
+  EXPECT_DOUBLE_EQ(spec.crash, 0.05);
+  EXPECT_DOUBLE_EQ(spec.crash_point, 0.3);
+  EXPECT_DOUBLE_EQ(spec.straggler, 0.2);
+  EXPECT_DOUBLE_EQ(spec.straggler_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(spec.transfer_error, 0.1);
+  EXPECT_EQ(spec.seed, 7u);
+
+  const FaultSpec again = parse_fault_spec(to_string(spec));
+  EXPECT_DOUBLE_EQ(again.cold_start_failure, spec.cold_start_failure);
+  EXPECT_DOUBLE_EQ(again.crash, spec.crash);
+  EXPECT_DOUBLE_EQ(again.crash_point, spec.crash_point);
+  EXPECT_DOUBLE_EQ(again.straggler, spec.straggler);
+  EXPECT_DOUBLE_EQ(again.straggler_multiplier, spec.straggler_multiplier);
+  EXPECT_DOUBLE_EQ(again.transfer_error, spec.transfer_error);
+  EXPECT_EQ(again.seed, spec.seed);
+}
+
+TEST(FaultSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_spec("bogus=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("cold"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("cold=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash=0.1@1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("straggler=0.1x0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("cold=-0.1"), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, ToStringOmitsDisabledKinds) {
+  FaultSpec spec;
+  spec.crash = 0.25;
+  const std::string text = to_string(spec);
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_EQ(text.find("cold"), std::string::npos);
+  EXPECT_EQ(text.find("straggler"), std::string::npos);
+  EXPECT_EQ(text.find("transfer"), std::string::npos);
+}
+
+TEST(FaultKindTest, NamesAreStable) {
+  EXPECT_STREQ(to_string(FaultKind::kColdStart), "cold_start");
+  EXPECT_STREQ(to_string(FaultKind::kCrash), "crash");
+  EXPECT_STREQ(to_string(FaultKind::kStraggler), "straggler");
+  EXPECT_STREQ(to_string(FaultKind::kTransfer), "transfer");
+}
+
+}  // namespace
+}  // namespace chiron

@@ -4,6 +4,7 @@
 
 #include "core/chiron.h"
 #include "core/pgp.h"
+#include "platform/cluster.h"
 #include "platform/plan_backend.h"
 #include "workflow/synthetic.h"
 
@@ -146,6 +147,55 @@ TEST(StressTest, ChironHandlesSingleFunctionWorkflow) {
   EXPECT_EQ(d.plan.sandbox_count(), 1u);
   EXPECT_EQ(d.orchestrators.size(), 1u);
 }
+
+class FaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSweep, ConservationHoldsOnArbitraryWorkflowsUnderFaults) {
+  // The cluster simulator's terminal-state invariant must hold for any
+  // workflow shape and any fault mix, and a seeded run must replay
+  // exactly — attempt accounting and cancellation paths included.
+  SyntheticSpec spec;
+  spec.max_parallelism = 6;
+  Rng rng(4000 + GetParam());
+  const Workflow wf = make_synthetic_workflow(
+      spec, rng, "faulty-" + std::to_string(GetParam()));
+  PgpScheduler scheduler(PgpConfig{}, wf, true_behaviors(wf));
+  const PgpResult planned = scheduler.schedule(1e9);
+  NoiseConfig quiet;
+  quiet.jitter_sigma = 0.0;
+  quiet.thread_contention = 0.0;
+  quiet.run_sigma = 0.0;
+  WrapPlanBackend backend("faulty", RuntimeParams::defaults(), wf,
+                          planned.plan, quiet);
+
+  ClusterConfig config;
+  config.nodes = 2;
+  config.horizon_ms = 3000.0;
+  config.offered_rps = 40.0;
+  config.seed = 0xC1057E4 + static_cast<std::uint64_t>(GetParam());
+  config.faults.cold_start_failure = 0.05 * (GetParam() % 3);
+  config.faults.crash = 0.08 * (GetParam() % 2 + 1);
+  config.faults.straggler = 0.1;
+  config.faults.seed = 500 + static_cast<std::uint64_t>(GetParam());
+  config.retry.max_attempts = 1 + GetParam() % 4;
+  config.retry.timeout_ms = GetParam() % 2 == 0 ? 1200.0 : 0.0;
+  ClusterSimulator sim(config, RuntimeParams::defaults());
+
+  const ClusterResult a = sim.run(backend, 1);
+  EXPECT_EQ(a.offered, a.completed + a.timed_out + a.dropped);
+  if (config.retry.timeout_ms > 0.0 && a.completed > 0) {
+    EXPECT_LE(a.p99_ms, config.retry.timeout_ms);
+  }
+  const ClusterResult b = sim.run(backend, 1);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweep, ::testing::Range(0, 8));
 
 TEST(StressTest, ProfilerSurvivesExtremeNoise) {
   ProfilerConfig config;

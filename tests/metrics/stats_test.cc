@@ -89,6 +89,26 @@ TEST(CdfTest, RejectsEmptySample) {
   EXPECT_THROW(Cdf({}), std::invalid_argument);
 }
 
+TEST(CdfTest, QuantileAgreesExactlyWithPercentile) {
+  // Pins the contract quantile() relies on since it stopped re-sorting a
+  // copy of sorted_: the direct indexing must agree bit-for-bit with the
+  // free percentile() on the same sample.
+  Rng rng(55);
+  std::vector<double> samples;
+  for (int i = 0; i < 777; ++i) samples.push_back(rng.normal(20.0, 6.0));
+  const Cdf cdf(samples);
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(cdf.quantile(q), percentile(samples, q * 100.0)) << q;
+  }
+}
+
+TEST(CdfTest, QuantileOfSingleSample) {
+  const Cdf cdf(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+}
+
 TEST(RunningStatsMergeTest, EqualsSingleAccumulator) {
   // Parallel Welford combine: splitting a stream across accumulators and
   // merging must reproduce the single-accumulator moments.

@@ -192,5 +192,249 @@ TEST(ClusterTest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
 }
 
+// --- keep_alive_ms == 0 regression -----------------------------------------
+
+TEST(ClusterTest, ZeroKeepAliveHandoffStaysWarm) {
+  // Regression: a finishing instance handed directly to a queued request
+  // must not transit the warm pool, where keep_alive_ms == 0 would reap
+  // it instantly and charge a spurious cold start per handoff. Under
+  // sustained overload the cold-start count is the fleet size, not the
+  // request count.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_finra(25);
+  const auto backend = make_system("OpenFaaS", wf, opts);
+  ClusterConfig config = small_config();
+  config.keep_alive_ms = 0.0;
+  config.offered_rps = 500.0;
+  config.horizon_ms = 3000.0;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  EXPECT_GT(r.peak_queue, 10u);  // genuinely overloaded: handoffs happen
+  EXPECT_LT(r.cold_starts, r.offered / 10);
+}
+
+// --- single-dimension capacity regression ----------------------------------
+
+class FixedLatencyBackend : public Backend {
+ public:
+  FixedLatencyBackend(TimeMs latency, ResourceUsage usage)
+      : latency_(latency), usage_(usage) {}
+  std::string name() const override { return "fixed"; }
+  RunResult run(Rng&) const override {
+    RunResult r;
+    r.e2e_latency_ms = latency_;
+    return r;
+  }
+  ResourceUsage resources() const override { return usage_; }
+
+ private:
+  TimeMs latency_;
+  ResourceUsage usage_;
+};
+
+TEST(ClusterTest, MemoryOnlyDeploymentIsBoundByMemoryAlone) {
+  // A deployment reporting zero CPUs (e.g. a pure-I/O wrap) must be
+  // capacity-bound by its memory dimension, not degenerate to one
+  // instance (or worse) because of the zero dimension.
+  const RuntimeParams params = RuntimeParams::defaults();
+  ResourceUsage usage;
+  usage.cpus = 0.0;
+  usage.memory_mb = params.node_memory_mb / 4.0;  // 4 instances per node
+  const FixedLatencyBackend backend(50.0, usage);
+  ClusterConfig config;
+  config.nodes = 1;
+  config.offered_rps = 400.0;  // force scale-out to the cap
+  config.horizon_ms = 2000.0;
+  config.keep_alive_ms = 60000.0;
+  ClusterSimulator sim(config, params);
+  const ClusterResult r = sim.run(backend, 1);
+  EXPECT_EQ(r.peak_instances, 4u);
+}
+
+TEST(ClusterTest, ZeroResourceDeploymentStillServes) {
+  // Both dimensions zero (a stub backend): capacity clamps to one
+  // instance instead of overflowing an infinite division to garbage.
+  const FixedLatencyBackend backend(5.0, ResourceUsage{});
+  ClusterConfig config;
+  config.offered_rps = 10.0;
+  config.horizon_ms = 2000.0;
+  ClusterSimulator sim(config, RuntimeParams::defaults());
+  const ClusterResult r = sim.run(backend, 1);
+  EXPECT_EQ(r.peak_instances, 1u);
+  EXPECT_EQ(r.completed, r.offered);
+}
+
+// --- fault injection, retry, timeout ---------------------------------------
+
+ClusterConfig faulty_config() {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.horizon_ms = 5000.0;
+  config.offered_rps = 30.0;
+  config.faults.cold_start_failure = 0.1;
+  config.faults.crash = 0.15;
+  config.faults.straggler = 0.1;
+  config.faults.seed = 99;
+  config.retry.max_attempts = 3;
+  config.retry.timeout_ms = 1500.0;
+  return config;
+}
+
+TEST(ClusterFaultTest, EveryRequestReachesExactlyOneTerminalState) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterSimulator sim(faulty_config(), opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  EXPECT_EQ(r.offered, r.completed + r.timed_out + r.dropped);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.failed, 0u);
+  EXPECT_GT(r.retried, 0u);
+}
+
+TEST(ClusterFaultTest, CompletedLatenciesNeverExceedTheDeadline) {
+  // Timeout-wins-ties semantics: a request that would finish exactly at
+  // (or after) its deadline is abandoned, so the completed-latency tail
+  // is provably capped.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterConfig config = faulty_config();
+  config.offered_rps = 100.0;  // queueing pushes some past the deadline
+  config.retry.timeout_ms = 400.0;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  EXPECT_GT(r.timed_out, 0u);
+  EXPECT_LE(r.p99_ms, 400.0);
+}
+
+TEST(ClusterFaultTest, SeededFaultRunReplaysExactly) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterSimulator sim(faulty_config(), opts.params);
+  const ClusterResult a = sim.run(*backend, 1);
+  const ClusterResult b = sim.run(*backend, 1);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(ClusterFaultTest, FaultSeedChangesTheRunButNotConservation) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterConfig other = faulty_config();
+  other.faults.seed = 100;
+  ClusterSimulator sim_a(faulty_config(), opts.params);
+  ClusterSimulator sim_b(other, opts.params);
+  const ClusterResult a = sim_a.run(*backend, 1);
+  const ClusterResult b = sim_b.run(*backend, 1);
+  EXPECT_EQ(a.offered, b.offered);  // arrivals use the cluster seed
+  // Decisions use the fault seed, so the runs diverge somewhere.
+  EXPECT_FALSE(a.failed == b.failed && a.mean_ms == b.mean_ms);
+  EXPECT_EQ(b.offered, b.completed + b.timed_out + b.dropped);
+}
+
+TEST(ClusterFaultTest, ZeroProbabilitySpecMatchesHealthyRun) {
+  // Arming the fault layer with all-zero probabilities must be
+  // byte-identical to a healthy run: decisions hash a private stream and
+  // never perturb the simulation's Rng draws.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterConfig armed = small_config();
+  armed.faults.seed = 0xDEAD;  // different seed, but nothing can fire
+  armed.retry.max_attempts = 5;
+  ClusterSimulator healthy(small_config(), opts.params);
+  ClusterSimulator zeroed(armed, opts.params);
+  const ClusterResult a = healthy.run(*backend, 1);
+  const ClusterResult b = zeroed.run(*backend, 1);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(b.failed, 0u);
+  EXPECT_EQ(b.retried, 0u);
+  EXPECT_EQ(b.timed_out, 0u);
+  EXPECT_EQ(b.dropped, 0u);
+}
+
+TEST(ClusterFaultTest, CertainColdStartFailureDropsEverything) {
+  // cold=1.0: no sandbox ever boots; each request burns its attempts and
+  // is dropped. Exact, deterministic accounting.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterConfig config = small_config();
+  config.faults.cold_start_failure = 1.0;
+  config.retry.max_attempts = 2;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.dropped, r.offered);
+  EXPECT_EQ(r.retried, r.offered);       // one retry each
+  EXPECT_EQ(r.failed, 2 * r.offered);    // both attempts fail
+  EXPECT_EQ(r.cold_starts, 0u);
+}
+
+TEST(ClusterFaultTest, StragglersInflateTheTail) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterConfig straggly = small_config();
+  straggly.faults.straggler = 0.2;
+  straggly.faults.straggler_multiplier = 8.0;
+  ClusterSimulator healthy(small_config(), opts.params);
+  ClusterSimulator slow(straggly, opts.params);
+  EXPECT_GT(slow.run(*backend, 1).p99_ms, healthy.run(*backend, 1).p99_ms);
+}
+
+TEST(ClusterFaultTest, FaultMetricsMatchResult) {
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  obs::MetricsRegistry metrics;
+  ClusterConfig config = faulty_config();
+  config.metrics = &metrics;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  // `failed` counts attempt-level failures: boot deaths + crashes.
+  EXPECT_EQ(metrics.counter("chiron.fault.injected.cold_start").value() +
+                metrics.counter("chiron.fault.injected.crash").value(),
+            static_cast<std::int64_t>(r.failed));
+  EXPECT_EQ(metrics.counter("chiron.retry.attempts").value(),
+            static_cast<std::int64_t>(r.retried));
+  EXPECT_EQ(metrics.counter("chiron.request.timeout").value(),
+            static_cast<std::int64_t>(r.timed_out));
+}
+
+TEST(ClusterFaultTest, EveryRequestSpanIsClosedUnderFaults) {
+  // With faults, retries, and timeouts in play, the tracer still sees one
+  // async begin and one async end per offered request — terminal states
+  // close spans too.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ClusterConfig config = faulty_config();
+  config.tracer = &tracer;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  std::size_t begins = 0, ends = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.name == "request" && ev.phase == 'b') ++begins;
+    if (ev.name == "request" && ev.phase == 'e') ++ends;
+  }
+  EXPECT_EQ(begins, r.offered);
+  EXPECT_EQ(ends, r.offered);
+}
+
 }  // namespace
 }  // namespace chiron

@@ -71,5 +71,67 @@ TEST(EventQueueTest, ScheduleInIsRelativeToNow) {
   EXPECT_DOUBLE_EQ(seen, 6.0);
 }
 
+TEST(EventQueueTest, CancelledEventNeverFires) {
+  EventQueue q;
+  int fired = 0;
+  const EventQueue::Handle h = q.schedule(2.0, [&] { ++fired; });
+  q.schedule(1.0, [&] { ++fired; });
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 1);
+  // The tombstone does not advance time past the live events.
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndRejectsRunAndUnknown) {
+  EventQueue q;
+  const EventQueue::Handle h = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));       // already cancelled
+  EXPECT_FALSE(q.cancel(h + 100)); // never scheduled
+  const EventQueue::Handle ran = q.schedule(2.0, [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(ran));     // already ran
+}
+
+TEST(EventQueueTest, CallbackCanCancelLaterEvent) {
+  // The cluster-simulator pattern: a timeout firing at t cancels the
+  // in-flight completion scheduled for t' > t (and vice versa).
+  EventQueue q;
+  int completions = 0;
+  const EventQueue::Handle completion =
+      q.schedule(10.0, [&] { ++completions; });
+  q.schedule(5.0, [&] { EXPECT_TRUE(q.cancel(completion)); });
+  q.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, CancelTieBreakIsFifo) {
+  // Two events at the same instant: the first-scheduled one runs first
+  // and can cancel the second even though both are already due.
+  EventQueue q;
+  bool second_ran = false;
+  EventQueue::Handle second = 0;
+  q.schedule(1.0, [&] { EXPECT_TRUE(q.cancel(second)); });
+  second = q.schedule(1.0, [&] { second_ran = true; });
+  q.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventQueueTest, RunUntilSkipsCancelledTail) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  const EventQueue::Handle h = q.schedule(3.0, [&] { ++fired; });
+  q.cancel(h);
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
 }  // namespace
 }  // namespace chiron
