@@ -4,14 +4,25 @@
 //
 //   $ ./examples/chironctl my_workflow.json [--slo 60] [--mode native]
 //                          [--deploy-threads N] [--emit out_dir]
-//                          [--trace out.json] [--metrics]
+//                          [--trace out.json] [--trace-limit N] [--metrics]
 //                          [--faults SPEC] [--retry N] [--timeout-ms T]
-//                          [--rps R]
+//                          [--rps R] [--serve-obs PORT] [--obs-linger-ms MS]
+//                          [--recorder] [--recorder-capacity N]
+//                          [--recorder-dump PATH]
 //
 // --trace records the deploy pipeline (profile / PGP iterations / KL /
 // CPU minimisation / codegen) as Chrome trace-event JSON — open it in
-// Perfetto or chrome://tracing. --metrics dumps the metrics registry in
-// Prometheus text format after the run.
+// Perfetto or chrome://tracing; --trace-limit caps retained events
+// (drop-oldest) so long runs stay bounded. --metrics dumps the metrics
+// registry in Prometheus text format after the run.
+//
+// --serve-obs starts the embedded observability endpoint (/metrics,
+// /metrics.json, /trace, /recorder, /healthz) on 127.0.0.1:PORT (0 = pick
+// a free port) and keeps it up --obs-linger-ms after the run so scrapers
+// can catch a short run. --recorder arms the always-on flight recorder:
+// every simulated request's causal timeline is retained in a bounded ring
+// (--recorder-capacity events), auto-dumped on SLO breaches, written as a
+// post-mortem on fatal signals, and dumped to --recorder-dump on exit.
 //
 // --faults arms seeded fault injection and runs the deployed plan
 // through the closed-loop cluster simulator. SPEC is a comma list, e.g.
@@ -26,12 +37,18 @@
 #include <sstream>
 #include <string>
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "common/log.h"
 #include "common/table.h"
 #include "core/chiron.h"
 #include "core/plan_io.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/obs_server.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "platform/cluster.h"
 #include "platform/plan_backend.h"
@@ -85,6 +102,13 @@ int main(int argc, char** argv) {
   TimeMs timeout_ms = 0.0;     // 0 = no per-request deadline
   double offered_rps = 50.0;
   bool fault_run = false;      // any of --faults/--retry/--timeout-ms
+  bool serve_obs = false;
+  int obs_port = 0;            // 0 = ephemeral
+  long obs_linger_ms = 0;      // keep serving this long after the run
+  bool recorder_on = false;
+  std::size_t recorder_capacity = 65536;
+  std::string recorder_dump;
+  std::size_t trace_limit = 0; // 0 = unbounded
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,10 +135,28 @@ int main(int argc, char** argv) {
       fault_run = true;
     } else if (arg == "--rps" && i + 1 < argc) {
       offered_rps = std::stod(argv[++i]);
+    } else if (arg == "--serve-obs" && i + 1 < argc) {
+      serve_obs = true;
+      obs_port = std::stoi(argv[++i]);
+    } else if (arg == "--obs-linger-ms" && i + 1 < argc) {
+      obs_linger_ms = std::stol(argv[++i]);
+    } else if (arg == "--recorder") {
+      recorder_on = true;
+    } else if (arg == "--recorder-capacity" && i + 1 < argc) {
+      recorder_on = true;
+      recorder_capacity = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--recorder-dump" && i + 1 < argc) {
+      recorder_on = true;
+      recorder_dump = argv[++i];
+    } else if (arg == "--trace-limit" && i + 1 < argc) {
+      trace_limit = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--slo" || arg == "--mode" || arg == "--emit" ||
                arg == "--trace" || arg == "--deploy-threads" ||
                arg == "--faults" || arg == "--retry" ||
-               arg == "--timeout-ms" || arg == "--rps") {
+               arg == "--timeout-ms" || arg == "--rps" ||
+               arg == "--serve-obs" || arg == "--obs-linger-ms" ||
+               arg == "--recorder-capacity" || arg == "--recorder-dump" ||
+               arg == "--trace-limit") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (arg.rfind("--", 0) == 0) {
@@ -148,10 +190,36 @@ int main(int argc, char** argv) {
             << def.workflow.function_count() << " functions, SLO " << slo
             << " ms, mode " << to_string(mode) << "\n\n";
 
-  if (!trace_path.empty()) {
-    set_log_level(LogLevel::kInfo);  // surface the "trace written" line
+  if (!trace_path.empty() || serve_obs) {
+    // Surface the "written"/"listening" lines — unless the operator
+    // explicitly pinned a level through CHIRON_LOG_LEVEL, which wins.
+    if (std::getenv("CHIRON_LOG_LEVEL") == nullptr) {
+      set_log_level(LogLevel::kInfo);
+    }
     obs::Tracer::global().set_enabled(true);
+    // A live /trace endpoint means the run can be long; default to a
+    // bounded tracer unless the operator explicitly sized it.
+    if (trace_limit == 0 && serve_obs) trace_limit = 262144;
   }
+  if (trace_limit != 0) obs::Tracer::global().set_max_events(trace_limit);
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (recorder_on) {
+    recorder.set_capacity(recorder_capacity);
+    recorder.set_enabled(true);
+    const std::string stem =
+        recorder_dump.empty() ? std::string("chiron_recorder") : recorder_dump;
+    recorder.arm_auto_dump(stem + ".breach.json");
+    recorder.install_signal_dump(stem + ".postmortem.jsonl");
+  }
+
+  obs::ObsServerConfig obs_config;
+  obs_config.port = obs_port;
+  obs_config.tracer = &obs::Tracer::global();
+  obs_config.metrics = &obs::MetricsRegistry::global();
+  obs_config.recorder = &recorder;
+  obs::ObsServer obs_server(obs_config);
+  if (serve_obs && !obs_server.start()) return 2;
 
   ChironConfig config;
   config.mode = mode;
@@ -213,6 +281,8 @@ int main(int argc, char** argv) {
     cluster.retry.max_attempts = retry_attempts > 0 ? retry_attempts : 3;
     cluster.retry.timeout_ms = timeout_ms;
     cluster.metrics = &obs::MetricsRegistry::global();
+    cluster.tracer = &obs::Tracer::global();
+    if (recorder_on) cluster.recorder = &recorder;
 
     RuntimeParams params;
     WrapPlanBackend backend("chiron", params, def.workflow, d.plan);
@@ -237,13 +307,36 @@ int main(int argc, char** argv) {
     outcome.print(std::cout);
     std::cout << "goodput " << format_fixed(r.achieved_rps, 1) << " rps of "
               << format_fixed(offered_rps, 0) << " offered\n";
+    if (recorder_on && r.offered > 0) {
+      std::cout << "recorder: request ids " << r.request_id_base << ".."
+                << r.request_id_base + r.offered - 1 << ", "
+                << recorder.recorded_count() - recorder.dropped_count()
+                << " events retained (" << recorder.dropped_count()
+                << " dropped)";
+      if (obs_server.running()) {
+        std::cout << " — curl http://127.0.0.1:" << obs_server.port()
+                  << "/recorder?request=" << r.request_id_base;
+      }
+      std::cout << "\n";
+    }
   }
 
   if (!trace_path.empty()) {
     obs::Tracer::global().write(trace_path);
   }
+  if (!recorder_dump.empty()) {
+    recorder.write(recorder_dump);
+  }
   if (dump_metrics) {
+    if (recorder_on) recorder.publish_metrics();
     std::cout << "\n" << obs::MetricsRegistry::global().to_prometheus();
   }
+  if (obs_server.running() && obs_linger_ms > 0) {
+    std::cout << "obs server lingering " << obs_linger_ms
+              << " ms on http://127.0.0.1:" << obs_server.port()
+              << " (ctrl-c to stop)\n" << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(obs_linger_ms));
+  }
+  obs_server.stop();
   return d.slo_met ? 0 : 3;
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Deploy-path benchmark runner: builds the Release tree, runs the
-# micro_pgp + micro_predictor + micro_fault suites in google-benchmark
-# JSON mode, and
-# folds the results into BENCH_deploy.json at the repo root so the perf
-# trajectory is tracked PR-over-PR.
+# micro_pgp + micro_predictor + micro_fault + micro_obs suites in
+# google-benchmark JSON mode, and folds the results into
+# BENCH_deploy.json at the repo root so the perf trajectory is tracked
+# PR-over-PR. micro_obs carries the recorder-overhead datapoint
+# (BM_ClusterRecorderOn vs BM_ClusterRecorderOff).
 #
 #   scripts/bench.sh                        # full run, writes BENCH_deploy.json
 #   scripts/bench.sh --smoke                # fast correctness pass, no output file
@@ -32,7 +33,8 @@ done
 echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
 cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
-  --target bench_micro_pgp bench_micro_predictor bench_micro_fault
+  --target bench_micro_pgp bench_micro_predictor bench_micro_fault \
+           bench_micro_obs
 
 if [[ "${SMOKE}" == "1" ]]; then
   # One tiny repetition per suite: proves the binaries run and produce
@@ -47,6 +49,9 @@ if [[ "${SMOKE}" == "1" ]]; then
   "${BENCH_BUILD_DIR}/bench/bench_micro_fault" \
     --benchmark_filter='BM_FaultInjectorRoll$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_obs" \
+    --benchmark_filter='BM_RecorderRecord$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
   echo "== bench: smoke OK =="
   exit 0
 fi
@@ -54,6 +59,7 @@ fi
 PGP_JSON="${BENCH_BUILD_DIR}/micro_pgp.json"
 PRED_JSON="${BENCH_BUILD_DIR}/micro_predictor.json"
 FAULT_JSON="${BENCH_BUILD_DIR}/micro_fault.json"
+OBS_JSON="${BENCH_BUILD_DIR}/micro_obs.json"
 
 echo "== bench: micro_pgp =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
@@ -67,19 +73,38 @@ echo "== bench: micro_fault =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_fault" \
   --benchmark_format=json --benchmark_out="${FAULT_JSON}" \
   --benchmark_out_format=json
+echo "== bench: micro_obs =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_obs" \
+  --benchmark_format=json --benchmark_out="${OBS_JSON}" \
+  --benchmark_out_format=json
 
-python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$BASELINE" <<'PY'
+python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$OBS_JSON" "$BASELINE" <<'PY'
 import json, sys
 
-pgp_path, pred_path, fault_path, baseline_path = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
+pgp_path, pred_path, fault_path, obs_path, baseline_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
 out = {
     "bench": "deploy",
     "build_type": "Release",
     "micro_pgp": json.load(open(pgp_path)),
     "micro_predictor": json.load(open(pred_path)),
     "micro_fault": json.load(open(fault_path)),
+    "micro_obs": json.load(open(obs_path)),
 }
+
+# Surface the recorder-overhead acceptance datapoint directly: the
+# recorder-on cluster run must stay within 5% of recorder-off.
+times = {b["name"]: b["real_time"]
+         for b in out["micro_obs"].get("benchmarks", [])
+         if "name" in b and "real_time" in b}
+on, off = times.get("BM_ClusterRecorderOn"), times.get("BM_ClusterRecorderOff")
+if on and off:
+    out["recorder_overhead"] = {
+        "cluster_recorder_on_ms": on,
+        "cluster_recorder_off_ms": off,
+        "overhead_pct": 100.0 * (on - off) / off,
+    }
+    print("recorder overhead: %.2f%%" % out["recorder_overhead"]["overhead_pct"])
 if baseline_path:
     out["baseline"] = json.load(open(baseline_path))
 with open("BENCH_deploy.json", "w") as f:

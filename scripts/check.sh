@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper: configure, build, and run the full ctest
-# suite. With --tsan, additionally build a ThreadSanitizer preset
-# (-DCHIRON_SANITIZE=thread, separate build dir) and repeat the
+# suite, then smoke the observability endpoint end-to-end (chironctl
+# --serve-obs + curl). With --tsan, additionally build a ThreadSanitizer
+# preset (-DCHIRON_SANITIZE=thread, separate build dir) and repeat the
 # concurrency-sensitive subset — the live-thread engine, the local runner,
-# the emulated GIL, and the new tracer/metrics layer.
+# the emulated GIL, and the tracer/metrics/recorder/obs-server layer.
 #
 #   scripts/check.sh            # plain tier-1
 #   scripts/check.sh --tsan     # tier-1 + sanitized concurrency subset
@@ -26,6 +27,52 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 echo "== tier-1: bench smoke =="
 scripts/bench.sh --smoke
 
+echo "== tier-1: obs smoke =="
+# End-to-end observability: run a faulted chironctl with the embedded obs
+# endpoint + flight recorder, scrape /healthz + /metrics over HTTP, and
+# JSON-validate /trace, /recorder, and the on-exit recorder dump.
+OBS_LOG="${BUILD_DIR}/obs_smoke.log"
+OBS_DUMP="${BUILD_DIR}/obs_smoke_recorder.json"
+rm -f "${OBS_LOG}" "${OBS_DUMP}"
+# CHIRON_LOG_LEVEL pinned: the port is parsed from the info-level
+# "listening" line, which an inherited error-level env would filter.
+CHIRON_LOG_LEVEL=info "${BUILD_DIR}/examples/chironctl" \
+  --faults cold=0.05,crash=0.05,straggler=0.1x4,seed=7 \
+  --retry 3 --timeout-ms 1500 --rps 30 \
+  --serve-obs 0 --obs-linger-ms 6000 \
+  --recorder --recorder-dump "${OBS_DUMP}" \
+  >"${OBS_LOG}" 2>&1 &
+OBS_PID=$!
+
+OBS_PORT=""
+for _ in $(seq 1 100); do
+  OBS_PORT="$(sed -n 's#.*obs server listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "${OBS_LOG}" | head -n 1)"
+  [[ -n "${OBS_PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${OBS_PORT}" ]]; then
+  echo "obs smoke: server never reported a port" >&2
+  cat "${OBS_LOG}" >&2
+  exit 1
+fi
+
+curl -fsS --max-time 5 "http://127.0.0.1:${OBS_PORT}/healthz" | grep -q '^ok$'
+curl -fsS --max-time 5 "http://127.0.0.1:${OBS_PORT}/metrics" | grep -q '^# TYPE '
+curl -fsS --max-time 5 "http://127.0.0.1:${OBS_PORT}/trace" \
+  | python3 -c 'import json,sys; json.load(sys.stdin)["traceEvents"]'
+curl -fsS --max-time 5 "http://127.0.0.1:${OBS_PORT}/recorder" \
+  | python3 -c 'import json,sys; json.load(sys.stdin)["events"]'
+
+OBS_RC=0; wait "${OBS_PID}" || OBS_RC=$?
+# 0 = SLO met, 3 = deployed but SLO missed; both mean the pipeline ran.
+if [[ "${OBS_RC}" != "0" && "${OBS_RC}" != "3" ]]; then
+  echo "obs smoke: chironctl exited ${OBS_RC}" >&2
+  cat "${OBS_LOG}" >&2
+  exit 1
+fi
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))["events"]' "${OBS_DUMP}"
+echo "== tier-1: obs smoke OK =="
+
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
   echo "== tsan: configure + build (${TSAN_BUILD_DIR}) =="
@@ -33,7 +80,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
   echo "== tsan: concurrency-sensitive subset =="
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault'
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs'
 fi
 
 echo "== check.sh: all green =="

@@ -1,13 +1,20 @@
 #include "common/log.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace chiron {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Applies CHIRON_LOG_LEVEL at static-init time (same TU as g_level, which
+// is initialised just above, so the ordering is well-defined).
+[[maybe_unused]] const LogLevel g_env_level = init_log_level_from_env();
 
 /// Milliseconds since the first log statement (monotonic clock).
 double uptime_ms() {
@@ -42,6 +49,25 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (t == "debug") return LogLevel::kDebug;
+  if (t == "info") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning") return LogLevel::kWarn;
+  if (t == "error") return LogLevel::kError;
+  return fallback;
+}
+
+LogLevel init_log_level_from_env() {
+  if (const char* env = std::getenv("CHIRON_LOG_LEVEL")) {
+    set_log_level(parse_log_level(env, log_level()));
+  }
+  return log_level();
 }
 
 namespace internal {

@@ -13,6 +13,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive; "warning" is
+/// accepted for "warn"). Returns `fallback` on anything else.
+LogLevel parse_log_level(const std::string& text, LogLevel fallback);
+
+/// Applies the CHIRON_LOG_LEVEL environment variable (if set and valid)
+/// to the global threshold and returns the resulting level. Runs once
+/// automatically at startup so `CHIRON_LOG_LEVEL=error ./chironctl ...`
+/// silences info/warn chatter without a flag; exposed so tests and
+/// long-lived embedders can re-read the environment.
+LogLevel init_log_level_from_env();
+
 namespace internal {
 void log_line(LogLevel level, const std::string& msg);
 }

@@ -6,6 +6,7 @@
 
 #include "metrics/stats.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace chiron {
@@ -87,6 +88,16 @@ std::optional<Deployment> Chiron::replan_if_degraded(const SloMonitor& monitor,
                                                      const Deployment& current) {
   if (!monitor.violated(slo_ms)) return std::nullopt;
   obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  // The breach is exactly the moment the flight recorder exists for:
+  // stamp it into the event stream, then snapshot the black box (the
+  // armed auto-dump path) *before* replanning mutates the world further.
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  if (rec.enabled()) {
+    rec.record(obs::RecKind::kSloBreach, 0, 0, rec.now_ms(),
+               monitor.p95_ms());
+    rec.auto_dump();
+  }
+  m.counter("chiron.slo.breaches").inc();
   if (monitor.failure_rate() > monitor.config().max_failure_rate) {
     // The wrap plan itself is a liability: one crashing thread kills all
     // its co-residents. Retreat to the smallest blast radius.
@@ -107,6 +118,9 @@ std::optional<Deployment> Chiron::replan_if_degraded(const SloMonitor& monitor,
       std::clamp(slowdown * kSafetyMargin, 1.0, kMaxInflation);
   m.counter("chiron.degrade.replans").inc();
   m.gauge("chiron.degrade.inflation").set(inflation);
+  if (rec.enabled()) {
+    rec.record(obs::RecKind::kReplan, 0, 0, rec.now_ms(), inflation);
+  }
   return deploy_degraded(wf, slo_ms, inflation);
 }
 

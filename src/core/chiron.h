@@ -144,8 +144,12 @@ class Chiron {
   ///     for that same slowdown, so its real p95 lands back under the
   ///     SLO at roughly SLO / margin.
   /// Returns nullopt while healthy or before the monitor warms up.
-  /// Emits chiron.degrade.replans / chiron.degrade.fallbacks counters
-  /// and the chiron.degrade.inflation gauge.
+  /// Emits chiron.degrade.replans / chiron.degrade.fallbacks /
+  /// chiron.slo.breaches counters and the chiron.degrade.inflation gauge.
+  /// When the global FlightRecorder is enabled, the breach is stamped into
+  /// the event stream (slo.breach, then replan) and the recorder is
+  /// auto-dumped to its armed path, so the events leading up to the breach
+  /// are preserved before recovery overwrites them.
   std::optional<Deployment> replan_if_degraded(const SloMonitor& monitor,
                                                const Workflow& wf,
                                                TimeMs slo_ms,

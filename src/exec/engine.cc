@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "exec/emulated_gil.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace chiron {
@@ -34,10 +35,17 @@ FunctionBehavior truncate_behavior(const FunctionBehavior& behavior,
   return FunctionBehavior(std::move(kept));
 }
 
-void note_live_fault(FaultKind kind) {
+void note_live_fault(FaultKind kind, std::uint64_t request_id,
+                     std::uint32_t task_cell, double value) {
   obs::MetricsRegistry& m = obs::MetricsRegistry::global();
   m.counter("chiron.fault.injected").inc();
   m.counter(std::string("chiron.fault.injected.") + to_string(kind)).inc();
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  if (rec.enabled()) {
+    rec.record(kind == FaultKind::kCrash ? obs::RecKind::kFaultCrash
+                                         : obs::RecKind::kFaultStraggler,
+               request_id, task_cell, rec.now_ms(), value);
+  }
 }
 
 }  // namespace
@@ -55,7 +63,9 @@ LiveFaultReport apply_faults(std::vector<ThreadTask>& tasks,
       tasks[i].behavior =
           tasks[i].behavior.scaled(spec.straggler_multiplier);
       ++report.stragglers;
-      note_live_fault(FaultKind::kStraggler);
+      note_live_fault(FaultKind::kStraggler, request_id,
+                      static_cast<std::uint32_t>(cell),
+                      spec.straggler_multiplier);
     }
     if (injector.crashes(request_id, cell)) {
       tasks[i].behavior = truncate_behavior(
@@ -63,7 +73,8 @@ LiveFaultReport apply_faults(std::vector<ThreadTask>& tasks,
           tasks[i].behavior.solo_latency() * spec.crash_point);
       report.crashed[i] = true;
       ++report.crashes;
-      note_live_fault(FaultKind::kCrash);
+      note_live_fault(FaultKind::kCrash, request_id,
+                      static_cast<std::uint32_t>(cell), spec.crash_point);
     }
   }
   return report;
@@ -139,11 +150,17 @@ void spin_with_gil(TimeMs ms, EmulatedGil& gil) {
 }
 
 InterleaveResult execute(const std::vector<ThreadTask>& tasks,
-                         EmulatedGil* gil) {
+                         EmulatedGil* gil, std::uint64_t request_id) {
   InterleaveResult result;
   result.tasks.resize(tasks.size());
   std::mutex result_mu;
   const auto origin = Clock::now();
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (recorder.enabled()) {
+    recorder.record(obs::RecKind::kExecBegin, request_id, 0,
+                    recorder.now_ms(), static_cast<double>(tasks.size()));
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(tasks.size());
@@ -159,9 +176,16 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
         std::this_thread::sleep_until(
             origin + std::chrono::duration<double, std::milli>(task.ready_ms));
       }
-      obs::ScopedSpan task_span(tracer, "task", "exec",
-                                {{"task", static_cast<double>(i)},
-                                 {"ready_ms", task.ready_ms}});
+      obs::ScopedSpan task_span(
+          tracer, "task", "exec",
+          request_id != 0
+              ? std::vector<std::pair<std::string, double>>{
+                    {"task", static_cast<double>(i)},
+                    {"ready_ms", task.ready_ms},
+                    {"request", static_cast<double>(request_id)}}
+              : std::vector<std::pair<std::string, double>>{
+                    {"task", static_cast<double>(i)},
+                    {"ready_ms", task.ready_ms}});
       TaskResult r;
       r.ready_ms = task.ready_ms;
       bool started = false;
@@ -226,22 +250,27 @@ InterleaveResult execute(const std::vector<ThreadTask>& tasks,
   for (const TaskResult& r : result.tasks) {
     result.makespan = std::max(result.makespan, r.finish_ms);
   }
+  if (recorder.enabled()) {
+    recorder.record(obs::RecKind::kExecEnd, request_id, 0,
+                    recorder.now_ms(), result.makespan);
+  }
   return result;
 }
 
 }  // namespace
 
 InterleaveResult execute_threads_gil(const std::vector<ThreadTask>& tasks,
-                                     TimeMs switch_interval_ms) {
+                                     TimeMs switch_interval_ms,
+                                     std::uint64_t request_id) {
   EmulatedGil gil(switch_interval_ms);
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) gil.enable_tracing(&tracer, "interpreter");
-  return execute(tasks, &gil);
+  return execute(tasks, &gil, request_id);
 }
 
 InterleaveResult execute_threads_parallel(
-    const std::vector<ThreadTask>& tasks) {
-  return execute(tasks, nullptr);
+    const std::vector<ThreadTask>& tasks, std::uint64_t request_id) {
+  return execute(tasks, nullptr, request_id);
 }
 
 }  // namespace chiron

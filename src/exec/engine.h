@@ -42,13 +42,20 @@ void spin_for_ms(TimeMs ms);
 
 /// Executes `tasks` as live threads sharing one emulated GIL with the
 /// given switch interval. Wall-clock spans are recorded per task.
+/// A non-zero `request_id` threads end-to-end causality through the live
+/// engine: task spans carry a "request" arg, and the global FlightRecorder
+/// (when enabled) gets exec.begin/exec.end plus per-task fault events
+/// keyed by that id — the same id space the cluster simulator mints at
+/// admission (obs::mint_request_ids).
 InterleaveResult execute_threads_gil(const std::vector<ThreadTask>& tasks,
-                                     TimeMs switch_interval_ms);
+                                     TimeMs switch_interval_ms,
+                                     std::uint64_t request_id = 0);
 
 /// Executes `tasks` as free-running live threads (no GIL). On a machine
 /// with enough cores this realises true parallelism; on fewer cores the
 /// OS scheduler time-shares, mirroring CpuShareSimulator with that core
-/// count.
-InterleaveResult execute_threads_parallel(const std::vector<ThreadTask>& tasks);
+/// count. `request_id` as in execute_threads_gil.
+InterleaveResult execute_threads_parallel(const std::vector<ThreadTask>& tasks,
+                                          std::uint64_t request_id = 0);
 
 }  // namespace chiron

@@ -83,9 +83,16 @@ enum class FaultKind : std::uint8_t {
 const char* to_string(FaultKind kind);
 
 /// Stateless decision oracle over a FaultSpec. `entity` is whatever
-/// identifies the unit at risk (request id, task index); `attempt` is the
-/// 1-based attempt or sub-event index. Identical (spec, entity, attempt)
-/// always yield the identical decision.
+/// identifies the unit at risk (request index, task index); `attempt` is
+/// the 1-based attempt or sub-event index. Identical (spec, entity,
+/// attempt) always yield the identical decision.
+///
+/// Determinism contract: entity ids must be stable *per run* — e.g. the
+/// ClusterSimulator hashes the arrival index, never the process-globally
+/// minted observability request id (obs::mint_request_ids), so a seeded
+/// run replays counter-exact no matter how many runs preceded it in the
+/// process. Use the minted id for recorder/tracer events, the stable
+/// index for fault decisions.
 class FaultInjector {
  public:
   FaultInjector() = default;

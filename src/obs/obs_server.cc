@@ -1,0 +1,198 @@
+#include "obs/obs_server.h"
+
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace chiron::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+  }
+  return "Error";
+}
+
+std::string render(const ObsResponse& r) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << r.status << " " << status_text(r.status) << "\r\n"
+      << "Content-Type: " << r.content_type << "\r\n"
+      << "Content-Length: " << r.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << r.body;
+  return out.str();
+}
+
+ObsResponse json_response(std::string body) {
+  return {200, "application/json", std::move(body)};
+}
+
+ObsResponse not_found(const std::string& what) {
+  return {404, "text/plain; charset=utf-8", what + " not available\n"};
+}
+
+}  // namespace
+
+ObsServer::ObsServer(ObsServerConfig config) : config_(config) {}
+
+ObsServer::~ObsServer() { stop(); }
+
+ObsResponse ObsServer::handle(const std::string& target) const {
+  const std::size_t q = target.find('?');
+  const std::string path = target.substr(0, q);
+  const std::string query =
+      q == std::string::npos ? std::string() : target.substr(q + 1);
+
+  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+
+  if (path == "/metrics") {
+    if (!config_.metrics) return not_found("metrics");
+    // Fold the recorder's occupancy/drop gauges into the scrape so one
+    // endpoint carries the whole picture.
+    if (config_.recorder && config_.metrics == &MetricsRegistry::global()) {
+      config_.recorder->publish_metrics();
+    }
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            config_.metrics->to_prometheus()};
+  }
+  if (path == "/metrics.json") {
+    if (!config_.metrics) return not_found("metrics");
+    return json_response(json::dump(config_.metrics->to_json()));
+  }
+  if (path == "/trace") {
+    if (!config_.tracer) return not_found("trace");
+    return json_response(config_.tracer->dump());
+  }
+  if (path == "/recorder") {
+    if (!config_.recorder) return not_found("recorder");
+    if (query.rfind("request=", 0) == 0) {
+      std::uint64_t request = 0;
+      try {
+        request = std::stoull(query.substr(8));
+      } catch (const std::exception&) {
+        return {400, "text/plain; charset=utf-8", "bad request id\n"};
+      }
+      json::Array events;
+      for (const RecorderEvent& ev : config_.recorder->timeline(request)) {
+        json::Object o;
+        o["ts_ms"] = json::Value(ev.ts_ms);
+        o["kind"] = json::Value(std::string(to_string(ev.kind)));
+        o["attempt"] = json::Value(static_cast<double>(ev.attempt));
+        o["value"] = json::Value(ev.value);
+        events.push_back(json::Value(std::move(o)));
+      }
+      json::Object root;
+      root["request"] = json::Value(static_cast<double>(request));
+      root["events"] = json::Value(std::move(events));
+      return json_response(json::dump(json::Value(std::move(root))));
+    }
+    return json_response(config_.recorder->dump());
+  }
+  return {404, "text/plain; charset=utf-8", "unknown endpoint\n"};
+}
+
+bool ObsServer::start() {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    CHIRON_LOG(kError) << "obs server: socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    CHIRON_LOG(kError) << "obs server: cannot bind 127.0.0.1:"
+                       << config_.port;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  CHIRON_LOG(kInfo) << "obs server listening on http://127.0.0.1:" << port_
+                    << " (/metrics /metrics.json /trace /recorder /healthz)";
+  return true;
+}
+
+void ObsServer::serve_loop() {
+  while (running()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check running()
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Read the request head (we only need the request line; scrapers send
+    // small GETs, so one read nearly always suffices).
+    char buf[2048];
+    std::string head;
+    while (head.find("\r\n") == std::string::npos &&
+           head.size() < 16 * 1024) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      head.append(buf, static_cast<std::size_t>(n));
+    }
+
+    ObsResponse response{400, "text/plain; charset=utf-8", "bad request\n"};
+    const std::size_t line_end = head.find("\r\n");
+    if (line_end != std::string::npos) {
+      std::istringstream line(head.substr(0, line_end));
+      std::string method, target, version;
+      line >> method >> target >> version;
+      if (method == "GET" || method == "HEAD") {
+        response = handle(target);
+        if (method == "HEAD") response.body.clear();
+      } else if (!method.empty()) {
+        response = {405, "text/plain; charset=utf-8", "GET only\n"};
+      }
+    }
+    if (config_.metrics) config_.metrics->counter("chiron.obs.scrapes").inc();
+    const std::string wire = render(response);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(conn, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+void ObsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace chiron::obs

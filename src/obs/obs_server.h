@@ -1,0 +1,77 @@
+// ObsServer — a tiny embedded HTTP/1.0 endpoint so live runs can be
+// scraped while serving, instead of waiting for an exit-time dump:
+//
+//   GET /healthz        -> "ok" liveness probe
+//   GET /metrics        -> MetricsRegistry in Prometheus text exposition
+//   GET /metrics.json   -> MetricsRegistry as JSON
+//   GET /trace          -> Tracer dump (Chrome trace-event JSON)
+//   GET /recorder       -> FlightRecorder dump (JSON)
+//   GET /recorder?request=ID -> one request's causal timeline (JSON)
+//
+// One accept thread handles connections sequentially (scrapes are rare
+// and responses are built outside any hot path); the listen loop polls so
+// stop() never blocks on a hung accept. Binds 127.0.0.1 only — this is an
+// operator diagnostics port, not a public API.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace chiron::obs {
+
+class Tracer;
+class MetricsRegistry;
+class FlightRecorder;
+
+/// Sinks to expose; null members make their endpoints answer 404.
+struct ObsServerConfig {
+  int port = 0;  ///< 0 = pick an ephemeral port (see ObsServer::port())
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  FlightRecorder* recorder = nullptr;
+};
+
+/// One HTTP response (also the unit the router is tested on).
+struct ObsResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class ObsServer {
+ public:
+  explicit ObsServer(ObsServerConfig config);
+  ~ObsServer();  ///< stop()s if still running
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Returns false (and
+  /// logs kError) when the port cannot be bound.
+  bool start();
+
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the ephemeral one when config.port was 0); 0 before
+  /// start().
+  int port() const { return port_; }
+
+  /// Routes one request target (path plus optional query) to its
+  /// response. Exposed so tests can exercise the router without sockets;
+  /// serve loop and tests share exactly this logic.
+  ObsResponse handle(const std::string& target) const;
+
+ private:
+  void serve_loop();
+
+  ObsServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace chiron::obs

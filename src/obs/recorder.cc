@@ -1,0 +1,309 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace chiron::obs {
+
+const char* to_string(RecKind kind) {
+  switch (kind) {
+    case RecKind::kAdmit: return "admit";
+    case RecKind::kQueue: return "queue";
+    case RecKind::kColdStart: return "cold_start";
+    case RecKind::kServiceBegin: return "service_begin";
+    case RecKind::kComplete: return "complete";
+    case RecKind::kFaultColdStart: return "fault.cold_start";
+    case RecKind::kFaultCrash: return "fault.crash";
+    case RecKind::kFaultStraggler: return "fault.straggler";
+    case RecKind::kFaultTransfer: return "fault.transfer";
+    case RecKind::kRetryBackoff: return "retry.backoff";
+    case RecKind::kTimeout: return "timeout";
+    case RecKind::kDrop: return "drop";
+    case RecKind::kExecBegin: return "exec.begin";
+    case RecKind::kExecEnd: return "exec.end";
+    case RecKind::kSloBreach: return "slo.breach";
+    case RecKind::kReplan: return "replan";
+    case RecKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+std::uint64_t mint_request_ids(std::uint64_t n) {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(n, std::memory_order_relaxed);
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()) {
+  const std::size_t per_stripe =
+      std::max<std::size_t>(1, (capacity + kStripes - 1) / kStripes);
+  for (Stripe& s : stripes_) s.ring.resize(per_stripe);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  const std::size_t per_stripe =
+      std::max<std::size_t>(1, (capacity + kStripes - 1) / kStripes);
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.ring.assign(per_stripe, RecorderEvent{});
+    s.written = 0;
+  }
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::size_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.ring.size();
+  }
+  return total;
+}
+
+double FlightRecorder::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+FlightRecorder::Stripe& FlightRecorder::stripe_for_current_thread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % kStripes];
+}
+
+void FlightRecorder::record(RecKind kind, std::uint64_t request,
+                            std::uint32_t attempt, double ts_ms,
+                            double value) {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.ts_ms = ts_ms;
+  ev.value = value;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.request = request;
+  ev.attempt = attempt;
+  ev.kind = kind;
+  Stripe& s = stripe_for_current_thread();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ring[s.written % s.ring.size()] = ev;
+  ++s.written;
+}
+
+std::uint64_t FlightRecorder::recorded_count() const {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.written;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped_count() const {
+  std::uint64_t dropped = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.written > s.ring.size()) dropped += s.written - s.ring.size();
+  }
+  return dropped;
+}
+
+void FlightRecorder::snapshot_into(std::vector<RecorderEvent>& out) const {
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const std::size_t kept = std::min<std::uint64_t>(s.written, s.ring.size());
+    out.insert(out.end(), s.ring.begin(),
+               s.ring.begin() + static_cast<std::ptrdiff_t>(kept));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecorderEvent& a, const RecorderEvent& b) {
+              return a.seq < b.seq;
+            });
+}
+
+std::vector<RecorderEvent> FlightRecorder::snapshot() const {
+  std::vector<RecorderEvent> out;
+  snapshot_into(out);
+  return out;
+}
+
+std::vector<RecorderEvent> FlightRecorder::timeline(
+    std::uint64_t request) const {
+  std::vector<RecorderEvent> all;
+  snapshot_into(all);
+  std::vector<RecorderEvent> out;
+  for (const RecorderEvent& ev : all) {
+    if (ev.request == request) out.push_back(ev);
+  }
+  return out;
+}
+
+namespace {
+
+json::Value event_to_json(const RecorderEvent& ev) {
+  json::Object o;
+  o["ts_ms"] = json::Value(ev.ts_ms);
+  o["seq"] = json::Value(static_cast<double>(ev.seq));
+  o["kind"] = json::Value(std::string(to_string(ev.kind)));
+  if (ev.request != 0) {
+    o["request"] = json::Value(static_cast<double>(ev.request));
+  }
+  if (ev.attempt != 0) {
+    o["attempt"] = json::Value(static_cast<double>(ev.attempt));
+  }
+  o["value"] = json::Value(ev.value);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value FlightRecorder::to_json() const {
+  std::vector<RecorderEvent> events;
+  snapshot_into(events);
+  json::Array arr;
+  arr.reserve(events.size());
+  for (const RecorderEvent& ev : events) arr.push_back(event_to_json(ev));
+  json::Object root;
+  root["events"] = json::Value(std::move(arr));
+  root["recorded"] = json::Value(static_cast<double>(recorded_count()));
+  root["dropped"] = json::Value(static_cast<double>(dropped_count()));
+  root["capacity"] = json::Value(static_cast<double>(capacity()));
+  return json::Value(std::move(root));
+}
+
+std::string FlightRecorder::dump() const { return json::dump(to_json()); }
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    CHIRON_LOG(kError) << "recorder: cannot open '" << path
+                       << "' for writing";
+    return false;
+  }
+  out << dump();
+  if (!out) {
+    CHIRON_LOG(kError) << "recorder: write to '" << path << "' failed";
+    return false;
+  }
+  CHIRON_LOG(kInfo) << "recorder: wrote " << recorded_count() - dropped_count()
+                    << " events to " << path << " (" << dropped_count()
+                    << " dropped)";
+  return true;
+}
+
+void FlightRecorder::publish_metrics() const {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.gauge("chiron.recorder.recorded")
+      .set(static_cast<double>(recorded_count()));
+  m.gauge("chiron.recorder.dropped")
+      .set(static_cast<double>(dropped_count()));
+  m.gauge("chiron.recorder.capacity").set(static_cast<double>(capacity()));
+}
+
+void FlightRecorder::arm_auto_dump(std::string path) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  auto_dump_path_ = std::move(path);
+}
+
+bool FlightRecorder::auto_dump() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    path = auto_dump_path_;
+  }
+  if (path.empty()) return false;
+  if (!write(path)) return false;
+  auto_dumps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FlightRecorder::clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.written = 0;
+  }
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+// --- fatal-signal post-mortem dump ------------------------------------------
+//
+// Everything below runs inside a signal handler, so it is restricted to
+// async-signal-safe calls: open/write/close and snprintf into stack
+// buffers. The recorder's rings are read without locking — the process is
+// crashing, and a rare torn slot beats losing the whole black box.
+
+namespace {
+
+char g_signal_path[512] = {0};
+// The handler needs the stripes; FlightRecorder grants access by passing a
+// plain view at install time (no locks are taken in the handler).
+struct SignalView {
+  const RecorderEvent* ring[FlightRecorder::kStripes] = {nullptr};
+  std::size_t ring_size[FlightRecorder::kStripes] = {0};
+  const std::uint64_t* written[FlightRecorder::kStripes] = {nullptr};
+};
+SignalView g_signal_view;
+
+void signal_dump_handler(int signo) {
+  const int fd = ::open(g_signal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    char line[256];
+    int n = std::snprintf(line, sizeof(line),
+                          "{\"signal\": %d, \"recorder_dump\": true}\n",
+                          signo);
+    if (n > 0) (void)!::write(fd, line, static_cast<std::size_t>(n));
+    for (std::size_t st = 0; st < FlightRecorder::kStripes; ++st) {
+      const RecorderEvent* ring = g_signal_view.ring[st];
+      if (!ring) continue;
+      const std::uint64_t written = *g_signal_view.written[st];
+      const std::size_t size = g_signal_view.ring_size[st];
+      const std::size_t kept =
+          static_cast<std::size_t>(std::min<std::uint64_t>(written, size));
+      for (std::size_t i = 0; i < kept; ++i) {
+        const RecorderEvent& ev = ring[i];
+        n = std::snprintf(
+            line, sizeof(line),
+            "{\"ts_ms\": %.3f, \"seq\": %llu, \"kind\": \"%s\", "
+            "\"request\": %llu, \"attempt\": %u, \"value\": %.6g}\n",
+            ev.ts_ms, static_cast<unsigned long long>(ev.seq),
+            to_string(ev.kind), static_cast<unsigned long long>(ev.request),
+            ev.attempt, ev.value);
+        if (n > 0) (void)!::write(fd, line, static_cast<std::size_t>(n));
+      }
+    }
+    ::close(fd);
+  }
+  // Restore the default disposition and re-raise so the crash still
+  // produces its normal core/termination status.
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::install_signal_dump(const std::string& path) {
+  std::snprintf(g_signal_path, sizeof(g_signal_path), "%s", path.c_str());
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    g_signal_view.ring[i] = stripes_[i].ring.data();
+    g_signal_view.ring_size[i] = stripes_[i].ring.size();
+    g_signal_view.written[i] = &stripes_[i].written;
+  }
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(signo, signal_dump_handler);
+  }
+}
+
+}  // namespace chiron::obs

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace chiron::obs {
 
@@ -47,9 +48,37 @@ int Tracer::new_track(const std::string& name, int pid) {
   return tid;
 }
 
+void Tracer::set_max_events(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_events_ = cap;
+  while (cap != 0 && events_.size() > cap) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::size_t Tracer::max_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_events_;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::push_locked(TraceEvent ev) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    events_.pop_front();
+    ++dropped_;
+    MetricsRegistry::global().counter("chiron.trace.dropped").inc();
+  }
+  events_.push_back(std::move(ev));
+}
+
 void Tracer::record(TraceEvent ev) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(ev));
+  push_locked(std::move(ev));
 }
 
 void Tracer::begin(const std::string& name, const std::string& category,
@@ -64,7 +93,7 @@ void Tracer::begin(const std::string& name, const std::string& category,
   ev.num_args = std::move(num_args);
   std::lock_guard<std::mutex> lock(mu_);
   ev.tid = thread_track_locked();
-  events_.push_back(std::move(ev));
+  push_locked(std::move(ev));
 }
 
 void Tracer::end(const std::string& name) {
@@ -76,7 +105,7 @@ void Tracer::end(const std::string& name) {
   ev.ts_us = now_ms() * 1000.0;
   std::lock_guard<std::mutex> lock(mu_);
   ev.tid = thread_track_locked();
-  events_.push_back(std::move(ev));
+  push_locked(std::move(ev));
 }
 
 void Tracer::instant(const std::string& name, const std::string& category,
@@ -91,7 +120,7 @@ void Tracer::instant(const std::string& name, const std::string& category,
   ev.num_args = std::move(num_args);
   std::lock_guard<std::mutex> lock(mu_);
   ev.tid = thread_track_locked();
-  events_.push_back(std::move(ev));
+  push_locked(std::move(ev));
 }
 
 void Tracer::complete_at(const std::string& name, const std::string& category,
@@ -111,7 +140,8 @@ void Tracer::complete_at(const std::string& name, const std::string& category,
 }
 
 void Tracer::instant_at(const std::string& name, const std::string& category,
-                        int pid, int tid, double ts_ms) {
+                        int pid, int tid, double ts_ms,
+                        std::vector<std::pair<std::string, double>> num_args) {
   if (!enabled()) return;
   TraceEvent ev;
   ev.name = name;
@@ -120,6 +150,7 @@ void Tracer::instant_at(const std::string& name, const std::string& category,
   ev.pid = pid;
   ev.tid = tid;
   ev.ts_us = ts_ms * 1000.0;
+  ev.num_args = std::move(num_args);
   record(std::move(ev));
 }
 
@@ -174,7 +205,7 @@ std::size_t Tracer::event_count() const {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return {events_.begin(), events_.end()};
 }
 
 namespace {
@@ -256,6 +287,7 @@ bool Tracer::write(const std::string& path) const {
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  dropped_ = 0;
   thread_tracks_.clear();
   track_names_.clear();
   next_track_ = 0;

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -61,6 +62,17 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Caps retained events: once `cap` events are held the oldest is
+  /// dropped per new record (and counted — see dropped_count() and the
+  /// chiron.trace.dropped counter in the global MetricsRegistry), so a
+  /// long-lived traced run can no longer grow memory without bound.
+  /// 0 (the default) = unbounded, the historical batch-dump behaviour.
+  void set_max_events(std::size_t cap);
+  std::size_t max_events() const;
+
+  /// Events evicted by the max_events cap since construction/clear().
+  std::uint64_t dropped_count() const;
+
   /// Wall-clock milliseconds since this tracer's epoch (steady clock).
   double now_ms() const;
 
@@ -87,7 +99,8 @@ class Tracer {
                    int pid, int tid, double ts_ms, double dur_ms,
                    std::vector<std::pair<std::string, double>> num_args = {});
   void instant_at(const std::string& name, const std::string& category,
-                  int pid, int tid, double ts_ms);
+                  int pid, int tid, double ts_ms,
+                  std::vector<std::pair<std::string, double>> num_args = {});
   /// A counter sample ('C'); Perfetto renders these as a stepped graph.
   void counter_at(const std::string& name, double value, int pid, int tid,
                   double ts_ms);
@@ -116,12 +129,15 @@ class Tracer {
 
  private:
   void record(TraceEvent ev);
-  int thread_track_locked();  ///< requires mu_ held
+  void push_locked(TraceEvent ev);  ///< requires mu_ held; applies the cap
+  int thread_track_locked();        ///< requires mu_ held
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;  ///< deque: the cap drops from the front
+  std::size_t max_events_ = 0;     ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
   std::map<std::thread::id, int> thread_tracks_;
   std::map<int, std::pair<int, std::string>> track_names_;  // tid -> {pid, name}
   int next_track_ = 0;

@@ -11,10 +11,24 @@
 #include "common/log.h"
 #include "metrics/stats.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace chiron {
+namespace {
+
+/// Recorder event kind for an injected fault.
+obs::RecKind fault_rec_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kColdStart: return obs::RecKind::kFaultColdStart;
+    case FaultKind::kCrash: return obs::RecKind::kFaultCrash;
+    case FaultKind::kStraggler: return obs::RecKind::kFaultStraggler;
+    default: return obs::RecKind::kFaultTransfer;
+  }
+}
+
+}  // namespace
 
 TimeMs cold_start_penalty(const RuntimeParams& params,
                           std::size_t cascading_stages) {
@@ -55,6 +69,13 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
   ClusterResult result;
   result.offered = arrival_times.size();
 
+  // Request causality: every request of this run gets a process-unique
+  // trace id minted up front; recorder and tracer events are keyed by it.
+  // Fault decisions keep hashing the arrival *index*, so the minted ids
+  // never change a seeded run's outcome.
+  const std::uint64_t id_base = obs::mint_request_ids(arrival_times.size());
+  result.request_id_base = id_base;
+
   const FaultInjector injector(config_.faults);
   const RetryPolicy& retry = config_.retry;
   const bool has_timeout = retry.timeout_ms > 0.0;
@@ -77,8 +98,16 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       metrics ? &metrics->counter("chiron.retry.attempts") : nullptr;
   obs::Counter* timeout_counter =
       metrics ? &metrics->counter("chiron.request.timeout") : nullptr;
+  obs::FlightRecorder* recorder =
+      config_.recorder && config_.recorder->enabled() ? config_.recorder
+                                                      : nullptr;
 
-  auto count_fault = [&](FaultKind kind, TimeMs now) {
+  // The process-unique trace id of arrival `id`.
+  auto rid = [id_base](std::uint64_t id) { return id_base + id; };
+
+  auto count_fault = [&](FaultKind kind, std::uint64_t id,
+                         std::uint32_t attempt, TimeMs now,
+                         double value = 0.0) {
     if (fault_counter) fault_counter->inc();
     if (metrics) {
       metrics
@@ -87,7 +116,12 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     }
     if (tracer) {
       tracer->instant_at(std::string("fault.") + to_string(kind), "fault",
-                         obs::kVirtualPid, request_track, now);
+                         obs::kVirtualPid, request_track, now,
+                         {{"request", static_cast<double>(rid(id))},
+                          {"attempt", static_cast<double>(attempt)}});
+    }
+    if (recorder) {
+      recorder->record(fault_rec_kind(kind), rid(id), attempt, now, value);
     }
   };
 
@@ -166,7 +200,7 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
   auto end_request_span = [&](std::uint64_t id, TimeMs now) {
     if (tracer) {
       tracer->async_end_at("request", "sim", obs::kVirtualPid, request_track,
-                           now, id);
+                           now, rid(id));
     }
   };
 
@@ -198,7 +232,12 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       if (tracer) {
         tracer->complete_at("retry.backoff", "fault", obs::kVirtualPid,
                             request_track, t, extra_delay + backoff,
-                            {{"attempt", static_cast<double>(r.attempt)}});
+                            {{"attempt", static_cast<double>(r.attempt)},
+                             {"request", static_cast<double>(rid(id))}});
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kRetryBackoff, rid(id), r.attempt, t,
+                         extra_delay + backoff);
       }
       ++r.attempt;
       r.phase = ReqState::Phase::kBackoff;
@@ -207,6 +246,9 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
           [&, id] { start_request(id, events.now()); });
     } else {
       ++result.dropped;
+      if (recorder) {
+        recorder->record(obs::RecKind::kDrop, rid(id), r.attempt, t);
+      }
       finalize(id);
       end_request_span(id, t);
     }
@@ -221,7 +263,12 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     TimeMs service = backend.run(run_rng).e2e_latency_ms;
     if (injector.straggles(id, r.attempt)) {
       service *= config_.faults.straggler_multiplier;
-      count_fault(FaultKind::kStraggler, now);
+      count_fault(FaultKind::kStraggler, id, r.attempt, now,
+                  config_.faults.straggler_multiplier);
+    }
+    if (recorder) {
+      recorder->record(obs::RecKind::kServiceBegin, rid(id), r.attempt, now,
+                       service);
     }
     if (injector.crashes(id, r.attempt)) {
       const TimeMs crash_at =
@@ -230,7 +277,7 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
         account(crash_at);
         --busy;
         --live;  // the crash takes the sandbox with it
-        count_fault(FaultKind::kCrash, crash_at);
+        count_fault(FaultKind::kCrash, id, reqs[id].attempt, crash_at);
         fail_attempt(id, crash_at, 0.0);
         // The crash freed a slot: a queued request can now cold-start.
         if (const auto qid = take_queued()) {
@@ -247,6 +294,10 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       const TimeMs latency = finish - reqs[id].arrival;
       latencies.push_back(latency);
       ++result.completed;
+      if (recorder) {
+        recorder->record(obs::RecKind::kComplete, rid(id),
+                         reqs[id].attempt, finish, latency);
+      }
       finalize(id);
       if (latency_hist) latency_hist->observe(latency);
       end_request_span(id, finish);
@@ -274,7 +325,7 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       if (injector.cold_start_fails(id, r.attempt)) {
         // The sandbox dies during boot: the boot time is still paid (it
         // delays the retry) but no instance comes up.
-        count_fault(FaultKind::kColdStart, now);
+        count_fault(FaultKind::kColdStart, id, r.attempt, now, cold_penalty);
         fail_attempt(id, now, cold_penalty);
         return;
       }
@@ -284,13 +335,22 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       if (cold_counter) cold_counter->inc();
       if (tracer) {
         tracer->instant_at("cluster.cold_start", "sim", obs::kVirtualPid,
-                           request_track, now);
+                           request_track, now,
+                           {{"request", static_cast<double>(rid(id))}});
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kColdStart, rid(id), r.attempt, now,
+                         cold_penalty);
       }
       begin_service(id, now, cold_penalty);
     } else {
       r.phase = ReqState::Phase::kQueued;
       queue.push_back(id);
       result.peak_queue = std::max(result.peak_queue, queue.size());
+      if (recorder) {
+        recorder->record(obs::RecKind::kQueue, rid(id), r.attempt, now,
+                         static_cast<double>(queue.size()));
+      }
       note_queue_depth(now);
     }
   };
@@ -303,7 +363,11 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     if (timeout_counter) timeout_counter->inc();
     if (tracer) {
       tracer->instant_at("request.timeout", "fault", obs::kVirtualPid,
-                         request_track, deadline);
+                         request_track, deadline,
+                         {{"request", static_cast<double>(rid(id))}});
+    }
+    if (recorder) {
+      recorder->record(obs::RecKind::kTimeout, rid(id), r.attempt, deadline);
     }
     switch (r.phase) {
       case ReqState::Phase::kQueued: {
@@ -343,7 +407,10 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     events.schedule(at, [&, at, id] {
       if (tracer) {
         tracer->async_begin_at("request", "sim", obs::kVirtualPid,
-                               request_track, at, id);
+                               request_track, at, rid(id));
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kAdmit, rid(id), 1, at);
       }
       if (has_timeout) {
         reqs[id].has_timeout_ev = true;

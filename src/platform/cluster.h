@@ -22,6 +22,7 @@ namespace chiron {
 namespace obs {
 class Tracer;
 class MetricsRegistry;
+class FlightRecorder;
 }
 
 /// Cluster and load configuration.
@@ -54,6 +55,14 @@ struct ClusterConfig {
   /// chiron.request.timeout, matching the returned ClusterResult.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Always-on flight recorder (not owned; null = off). Every request is
+  /// minted a process-unique id at admission (obs::mint_request_ids) and
+  /// its whole causal chain — admission, queueing, cold starts, service
+  /// attempts, injected faults, retries, timeout/drop/completion — is
+  /// recorded against that id, so one timeline(id) call reconstructs the
+  /// request end to end. The same id labels the tracer's async request
+  /// span and fault instants ("request" arg).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Outcome of one closed-loop run. Every offered request reaches exactly
@@ -74,6 +83,11 @@ struct ClusterResult {
   double mean_busy_instances = 0.0;  ///< time-averaged busy instances
   std::size_t peak_instances = 0;    ///< max live (busy + warm) instances
   std::size_t peak_queue = 0;        ///< max queued requests
+  /// First trace/request id of this run: arrival i carries id
+  /// request_id_base + i in the recorder and tracer (0 when no run
+  /// happened). Fault decisions still hash the arrival *index*, so ids
+  /// never perturb seeded reproducibility.
+  std::uint64_t request_id_base = 0;
 };
 
 /// Cold-start penalty for scaling a deployment instance from zero. The

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace chiron {
 namespace {
 
@@ -39,6 +41,35 @@ TEST(LogTest, StreamComposesWithoutCrashing) {
   CHIRON_LOG(kInfo) << "workflow " << std::string("x");
   CHIRON_LOG(kError) << "error path exercised";
   SUCCEED();
+}
+
+TEST(LogTest, ParseLogLevelAcceptsAliasesAndCase) {
+  const LogLevel fb = LogLevel::kWarn;
+  EXPECT_EQ(parse_log_level("debug", fb), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", fb), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR", fb), LogLevel::kError);
+  // Unknown strings fall back untouched.
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("", LogLevel::kDebug), LogLevel::kDebug);
+}
+
+TEST(LogTest, EnvVarDrivesThreshold) {
+  LogLevelGuard guard;
+  ::setenv("CHIRON_LOG_LEVEL", "error", 1);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  // Garbage values leave the current threshold alone.
+  set_log_level(LogLevel::kInfo);
+  ::setenv("CHIRON_LOG_LEVEL", "shout", 1);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::kInfo);
+
+  // Unset: the current threshold is simply reported.
+  ::unsetenv("CHIRON_LOG_LEVEL");
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::kDebug);
 }
 
 TEST(LogTest, OrderingOfLevels) {

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "platform/plan_backend.h"
 #include "workflow/benchmarks.h"
 
@@ -279,6 +285,49 @@ TEST(ChironDegradationTest, StragglerStormIsRecoveredBelowTheSlo) {
   observe(*replanned, after);
   EXPECT_LE(after.p95_ms(), slo);  // recovered despite the ongoing storm
   EXPECT_FALSE(after.violated(slo));
+}
+
+TEST(ChironDegradationTest, SloBreachAutoDumpsTheFlightRecorder) {
+  // An SLO breach must leave a post-hoc artifact without anyone asking:
+  // the armed flight recorder dumps itself when replan_if_degraded trips.
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "chiron_breach_dump.json";
+  std::filesystem::remove(path);
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  rec.arm_auto_dump(path.string());
+  const std::uint64_t dumps_before = rec.auto_dumps();
+  const std::int64_t breaches_before =
+      obs::MetricsRegistry::global().counter("chiron.slo.breaches").value();
+
+  const Workflow wf = make_slapp();
+  Chiron manager(ChironConfig{});
+  const Deployment d = manager.deploy(wf, 300.0);
+  SloMonitor monitor;
+  for (int i = 0; i < 100; ++i) monitor.record(50.0, i % 5 != 0);  // breach
+  const auto replanned = manager.replan_if_degraded(monitor, wf, 300.0, d);
+  ASSERT_TRUE(replanned.has_value());
+
+  EXPECT_EQ(rec.auto_dumps(), dumps_before + 1);
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("chiron.slo.breaches").value(),
+      breaches_before + 1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "breach dump missing at " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value doc = json::parse(text.str());
+  bool saw_breach = false;
+  for (const json::Value& ev : doc.at("events").as_array()) {
+    if (ev.at("kind").as_string() == "slo.breach") saw_breach = true;
+  }
+  EXPECT_TRUE(saw_breach);
+
+  rec.set_enabled(false);
+  rec.arm_auto_dump("");  // disarm for later tests
+  rec.clear();
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "exec/emulated_gil.h"
+#include "obs/recorder.h"
 #include "runtime/gil.h"
 
 namespace chiron {
@@ -172,6 +175,26 @@ TEST(ApplyFaultsTest, DeterministicPerRequestId) {
   // at p = 0.5 the patterns differing is essentially certain, and any
   // regression to id-independent decisions trips this immediately.
   EXPECT_NE(rc.crashed, ra.crashed);
+}
+
+TEST(ExecEngineTest, RequestIdThreadsThroughToTheRecorder) {
+  // A live execution launched on behalf of a request carries its id into
+  // the flight recorder: one exec.begin / exec.end pair keyed by the id.
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  const std::uint64_t id = obs::mint_request_ids(1);
+  std::vector<ThreadTask> tasks{{cpu_bound(1.0), 0.0}, {cpu_bound(1.0), 0.0}};
+  const InterleaveResult real = execute_threads_gil(tasks, 5.0, id);
+  EXPECT_EQ(real.tasks.size(), 2u);
+  const std::vector<obs::RecorderEvent> timeline = rec.timeline(id);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.front().kind, obs::RecKind::kExecBegin);
+  EXPECT_DOUBLE_EQ(timeline.front().value, 2.0);  // task count
+  EXPECT_EQ(timeline.back().kind, obs::RecKind::kExecEnd);
+  EXPECT_GT(timeline.back().value, 0.0);  // makespan
+  rec.set_enabled(false);
+  rec.clear();
 }
 
 }  // namespace

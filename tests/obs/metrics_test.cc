@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -124,6 +126,57 @@ TEST(MetricsRegistryTest, PrometheusExportHasExpectedShape) {
   EXPECT_NE(text.find("e2e_bucket{le=\"100\"} 2"), std::string::npos);
   EXPECT_NE(text.find("e2e_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("e2e_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionMatchesFormatGrammar) {
+  // Pins the text exposition format line-by-line: every line is either a
+  // `# TYPE`/`# HELP` comment or a `name[{labels}] value` sample with a
+  // sanitised ([a-zA-Z_:][a-zA-Z0-9_:]*) metric name, and histogram
+  // bucket counts are cumulative up to +Inf == _count.
+  MetricsRegistry registry;
+  registry.counter("chiron.obs.scrapes").inc(7);
+  registry.gauge("9starts-with-digit").set(-0.5);
+  Histogram& h = registry.histogram("deploy.latency.ms", {1.0, 10.0, 100.0});
+  for (double x : {0.5, 5.0, 5.0, 50.0, 5000.0}) h.observe(x);
+
+  const std::regex comment_re(
+      R"re(^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$)re");
+  const std::regex sample_re(
+      R"re(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="([0-9eE.+-]+|\+Inf)"\})? )re"
+      R"re(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$)re");
+
+  const std::string text = registry.to_prometheus();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');  // exposition ends with a newline
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t last_bucket = 0;
+  bool saw_inf = false, saw_sum = false, saw_count = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, comment_re)) << line;
+      continue;
+    }
+    EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    if (line.rfind("deploy_latency_ms_bucket", 0) == 0) {
+      const std::uint64_t n =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(n, last_bucket) << "buckets must be cumulative: " << line;
+      last_bucket = n;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        EXPECT_EQ(n, 5u);  // +Inf bucket counts every observation
+      }
+    }
+    if (line.rfind("deploy_latency_ms_sum ", 0) == 0) saw_sum = true;
+    if (line.rfind("deploy_latency_ms_count 5", 0) == 0) saw_count = true;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_TRUE(saw_sum);
+  EXPECT_TRUE(saw_count);
+  // Leading digits are prefixed so the name stays grammar-legal.
+  EXPECT_NE(text.find("_9starts_with_digit"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ResetDropsEverything) {

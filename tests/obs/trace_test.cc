@@ -169,6 +169,46 @@ TEST(TracerTest, AsyncEventsPairById) {
   for (const auto& [id, balance] : per_id) EXPECT_EQ(balance, 0);
 }
 
+TEST(TracerTest, BoundedTracerDropsOldestAndCounts) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_max_events(4);
+  EXPECT_EQ(tracer.max_events(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("ev" + std::to_string(i), "test");
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tracer.dropped_count(), 6u);
+  // Oldest-dropped: the survivors are the last four records.
+  EXPECT_EQ(events.front().name, "ev6");
+  EXPECT_EQ(events.back().name, "ev9");
+  // The dump is still a valid trace document.
+  const json::Value doc = json::parse(tracer.dump());
+  EXPECT_EQ(payload_events(doc).size(), 4u);
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+  EXPECT_EQ(tracer.max_events(), 4u);  // the cap survives clear()
+}
+
+TEST(TracerTest, BoundedTracerConservesCountsUnderConcurrency) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_max_events(64);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&tracer] {
+      for (int j = 0; j < kEvents; ++j) tracer.instant("e", "stress");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(), 64u);
+  EXPECT_EQ(tracer.event_count() + tracer.dropped_count(),
+            static_cast<std::size_t>(kThreads * kEvents));
+}
+
 TEST(TracerTest, ClearDropsEventsButKeepsClockMonotone) {
   Tracer tracer;
   tracer.set_enabled(true);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "platform/systems.h"
 #include "workflow/benchmarks.h"
@@ -434,6 +438,77 @@ TEST(ClusterFaultTest, EveryRequestSpanIsClosedUnderFaults) {
   }
   EXPECT_EQ(begins, r.offered);
   EXPECT_EQ(ends, r.offered);
+}
+
+TEST(ClusterFaultTest, RecorderYieldsCompleteCausalTimelinePerRequest) {
+  // The acceptance bar for request causality: a seeded faulted run with
+  // the flight recorder attached yields, for every minted request id, a
+  // timeline that starts at admission and ends at exactly one terminal
+  // event — and the per-kind terminal totals reconcile with the
+  // ClusterResult counters.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  obs::FlightRecorder recorder(1 << 16);
+  recorder.set_enabled(true);
+  ClusterConfig config = faulty_config();
+  config.recorder = &recorder;
+  ClusterSimulator sim(config, opts.params);
+  const ClusterResult r = sim.run(*backend, 1);
+  ASSERT_GT(r.offered, 0u);
+  ASSERT_GT(r.request_id_base, 0u);
+  EXPECT_EQ(recorder.dropped_count(), 0u);  // capacity held the whole run
+
+  std::uint64_t completed = 0, timed_out = 0, dropped = 0;
+  for (std::uint64_t i = 0; i < r.offered; ++i) {
+    const std::uint64_t id = r.request_id_base + i;
+    const std::vector<obs::RecorderEvent> timeline = recorder.timeline(id);
+    ASSERT_FALSE(timeline.empty()) << "request " << id << " left no events";
+    EXPECT_EQ(timeline.front().kind, obs::RecKind::kAdmit);
+    EXPECT_EQ(timeline.front().attempt, 1u);
+    std::size_t terminals = 0;
+    for (const obs::RecorderEvent& ev : timeline) {
+      EXPECT_EQ(ev.request, id);
+      switch (ev.kind) {
+        case obs::RecKind::kComplete: ++completed; ++terminals; break;
+        case obs::RecKind::kTimeout: ++timed_out; ++terminals; break;
+        case obs::RecKind::kDrop: ++dropped; ++terminals; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(terminals, 1u) << "request " << id;
+    // The terminal event closes the timeline — nothing recorded after it.
+    const obs::RecorderEvent& last = timeline.back();
+    EXPECT_TRUE(last.kind == obs::RecKind::kComplete ||
+                last.kind == obs::RecKind::kTimeout ||
+                last.kind == obs::RecKind::kDrop)
+        << "request " << id << " ends with " << to_string(last.kind);
+    // Retried requests show their retry attempts in causal order.
+    std::uint32_t max_attempt = 0;
+    for (const obs::RecorderEvent& ev : timeline) {
+      EXPECT_GE(ev.attempt + 1, max_attempt);  // attempts never rewind
+      max_attempt = std::max(max_attempt, ev.attempt);
+    }
+  }
+  EXPECT_EQ(completed, r.completed);
+  EXPECT_EQ(timed_out, r.timed_out);
+  EXPECT_EQ(dropped, r.dropped);
+}
+
+TEST(ClusterFaultTest, MintedIdsKeepSeededRunsDeterministic) {
+  // Request ids come from a process-global mint, so two identical seeded
+  // runs get different id ranges — but the simulated outcome is byte-for-
+  // byte identical because fault decisions hash the arrival index.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto backend = make_system("Faastlane", wf, opts);
+  ClusterSimulator sim(faulty_config(), opts.params);
+  const ClusterResult a = sim.run(*backend, 1);
+  const ClusterResult b = sim.run(*backend, 1);
+  EXPECT_NE(a.request_id_base, b.request_id_base);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
 }
 
 }  // namespace
