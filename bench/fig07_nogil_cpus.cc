@@ -8,6 +8,7 @@
 #include "common/table.h"
 #include "metrics/stats.h"
 #include "runtime/gil.h"
+#include "runtime/resources.h"
 #include "workflow/benchmarks.h"
 
 using namespace chiron;

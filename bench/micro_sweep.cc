@@ -1,0 +1,68 @@
+// Scenario-sweep micro-benchmarks (google-benchmark): run_batch fan-out
+// cost sequentially vs through a ThreadPool. On a multi-core host the
+// pooled variant should approach a linear speedup (the runs are
+// independent and deterministic); on a single-core CI box the two series
+// mainly document that the fan-out machinery adds no real overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "platform/cluster.h"
+#include "platform/systems.h"
+#include "workflow/benchmarks.h"
+
+namespace {
+
+using namespace chiron;
+
+struct SweepSetup {
+  SystemOptions opts;
+  Workflow wf = make_slapp();
+  std::unique_ptr<Backend> backend;
+  std::vector<ScenarioSpec> specs;
+  std::vector<std::uint64_t> seeds;
+
+  explicit SweepSetup(std::size_t scenarios) {
+    opts.noise.jitter_sigma = 0.0;
+    opts.noise.thread_contention = 0.0;
+    opts.noise.run_sigma = 0.0;
+    backend = make_system("Faastlane", wf, opts);
+    for (std::size_t s = 0; s < scenarios; ++s) {
+      ScenarioSpec spec;
+      spec.name = "mix-" + std::to_string(s);
+      spec.config.nodes = 2;
+      spec.config.horizon_ms = 2000.0;
+      spec.config.offered_rps = 10.0 + 10.0 * static_cast<double>(s);
+      spec.backend = backend.get();
+      specs.push_back(std::move(spec));
+    }
+    for (std::uint64_t k = 0; k < 4; ++k) seeds.push_back(1000 + k);
+  }
+};
+
+// Sequential baseline: pool = nullptr degrades to a plain loop.
+void BM_SweepSequential(benchmark::State& state) {
+  const SweepSetup setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterSimulator::run_batch(
+        setup.specs, setup.seeds, setup.opts.params, nullptr));
+  }
+}
+BENCHMARK(BM_SweepSequential)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Pooled fan-out over the hardware's cores (resolve_workers(0) = auto).
+void BM_SweepPooled(benchmark::State& state) {
+  const SweepSetup setup(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool(ThreadPool::resolve_workers(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterSimulator::run_batch(
+        setup.specs, setup.seeds, setup.opts.params, &pool));
+  }
+}
+BENCHMARK(BM_SweepPooled)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

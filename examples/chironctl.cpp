@@ -6,7 +6,8 @@
 //                          [--deploy-threads N] [--emit out_dir]
 //                          [--trace out.json] [--trace-limit N] [--metrics]
 //                          [--faults SPEC] [--retry N] [--timeout-ms T]
-//                          [--rps R] [--serve-obs PORT] [--obs-linger-ms MS]
+//                          [--rps R] [--sweep N]
+//                          [--serve-obs PORT] [--obs-linger-ms MS]
 //                          [--recorder] [--recorder-capacity N]
 //                          [--recorder-dump PATH]
 //
@@ -30,6 +31,13 @@
 // --retry sets max attempts per request (default 3 under faults) and
 // --timeout-ms arms a per-request deadline; both apply to that fault run.
 //
+// --sweep N scores the deployed plan under N traffic scenarios at once:
+// offered load is spread 0.5x..2x around --rps, each scenario is run
+// under several seeds, and all runs fan out across a thread pool via
+// ClusterSimulator::run_batch (deterministic per seed whatever the pool
+// size). One summary line is printed per scenario. Any armed
+// --faults/--retry/--timeout-ms apply to every scenario.
+//
 // Run without arguments to see a demo on a built-in definition.
 #include <filesystem>
 #include <fstream>
@@ -43,6 +51,7 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "core/chiron.h"
 #include "core/plan_io.h"
 #include "fault/fault.h"
@@ -101,6 +110,7 @@ int main(int argc, char** argv) {
   int retry_attempts = 0;      // 0 = default (3 when faults are armed)
   TimeMs timeout_ms = 0.0;     // 0 = no per-request deadline
   double offered_rps = 50.0;
+  std::size_t sweep_n = 0;     // scenarios for --sweep (0 = off)
   bool fault_run = false;      // any of --faults/--retry/--timeout-ms
   bool serve_obs = false;
   int obs_port = 0;            // 0 = ephemeral
@@ -135,6 +145,8 @@ int main(int argc, char** argv) {
       fault_run = true;
     } else if (arg == "--rps" && i + 1 < argc) {
       offered_rps = std::stod(argv[++i]);
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      sweep_n = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--serve-obs" && i + 1 < argc) {
       serve_obs = true;
       obs_port = std::stoi(argv[++i]);
@@ -154,6 +166,7 @@ int main(int argc, char** argv) {
                arg == "--trace" || arg == "--deploy-threads" ||
                arg == "--faults" || arg == "--retry" ||
                arg == "--timeout-ms" || arg == "--rps" ||
+               arg == "--sweep" ||
                arg == "--serve-obs" || arg == "--obs-linger-ms" ||
                arg == "--recorder-capacity" || arg == "--recorder-dump" ||
                arg == "--trace-limit") {
@@ -316,6 +329,69 @@ int main(int argc, char** argv) {
       if (obs_server.running()) {
         std::cout << " — curl http://127.0.0.1:" << obs_server.port()
                   << "/recorder?request=" << r.request_id_base;
+      }
+      std::cout << "\n";
+    }
+  }
+
+  if (sweep_n > 0) {
+    // Score the deployed plan under a fan of traffic scenarios: offered
+    // load spread 0.5x..2x around --rps, each scenario replayed under the
+    // same seed set, all runs fanned across a thread pool by run_batch.
+    // Results are deterministic per (scenario, seed) regardless of pool
+    // size, so these lines are reproducible run-over-run.
+    FaultSpec faults;
+    if (!fault_text.empty()) {
+      try {
+        faults = parse_fault_spec(fault_text);
+      } catch (const std::exception& e) {
+        std::cerr << "fault spec error: " << e.what() << "\n";
+        return 2;
+      }
+    }
+    RuntimeParams params;
+    WrapPlanBackend backend("chiron", params, def.workflow, d.plan);
+
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(sweep_n);
+    for (std::size_t s = 0; s < sweep_n; ++s) {
+      const double factor =
+          sweep_n == 1 ? 1.0
+                       : 0.5 + 1.5 * static_cast<double>(s) /
+                                 static_cast<double>(sweep_n - 1);
+      ScenarioSpec spec;
+      spec.config.offered_rps = offered_rps * factor;
+      spec.config.faults = faults;
+      if (fault_run) {
+        spec.config.retry.max_attempts =
+            retry_attempts > 0 ? retry_attempts : 3;
+        spec.config.retry.timeout_ms = timeout_ms;
+      }
+      spec.backend = &backend;
+      std::ostringstream name;
+      name << "rps-" << format_fixed(spec.config.offered_rps, 0);
+      spec.name = name.str();
+      specs.push_back(std::move(spec));
+    }
+
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+    ThreadPool pool(ThreadPool::resolve_workers(0));
+    const std::vector<ScenarioOutcome> outcomes =
+        ClusterSimulator::run_batch(specs, seeds, params, &pool);
+
+    std::cout << "\nsweep: " << specs.size() << " scenarios x "
+              << seeds.size() << " seeds on " << pool.size()
+              << " workers\n";
+    for (const ScenarioOutcome& o : outcomes) {
+      std::cout << "sweep " << o.name << ": completed " << o.completed
+                << "/" << o.offered << ", latency "
+                << format_fixed(o.latency_ms.mean(), 1) << " ms (sd "
+                << format_fixed(o.latency_ms.stddev(), 1) << ", max "
+                << format_fixed(o.latency_ms.max(), 1) << "), goodput "
+                << format_fixed(o.achieved_rps.mean(), 1) << " rps";
+      if (o.timed_out > 0 || o.dropped > 0) {
+        std::cout << ", timed_out " << o.timed_out << ", dropped "
+                  << o.dropped;
       }
       std::cout << "\n";
     }

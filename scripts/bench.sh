@@ -34,14 +34,14 @@ echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
 cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
   --target bench_micro_pgp bench_micro_predictor bench_micro_fault \
-           bench_micro_obs
+           bench_micro_obs bench_micro_sweep
 
 if [[ "${SMOKE}" == "1" ]]; then
   # One tiny repetition per suite: proves the binaries run and produce
   # well-formed JSON without paying for stable timings.
   echo "== bench: smoke =="
   "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
-    --benchmark_filter='BM_PgpSchedule/5$' --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_PgpScheduleKl/5$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
   "${BENCH_BUILD_DIR}/bench/bench_micro_predictor" \
     --benchmark_filter='BM_WorkflowPrediction/5$' --benchmark_min_time=0.01 \
@@ -52,6 +52,9 @@ if [[ "${SMOKE}" == "1" ]]; then
   "${BENCH_BUILD_DIR}/bench/bench_micro_obs" \
     --benchmark_filter='BM_RecorderRecord$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_sweep" \
+    --benchmark_filter='BM_SweepSequential/2$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
   echo "== bench: smoke OK =="
   exit 0
 fi
@@ -60,6 +63,7 @@ PGP_JSON="${BENCH_BUILD_DIR}/micro_pgp.json"
 PRED_JSON="${BENCH_BUILD_DIR}/micro_predictor.json"
 FAULT_JSON="${BENCH_BUILD_DIR}/micro_fault.json"
 OBS_JSON="${BENCH_BUILD_DIR}/micro_obs.json"
+SWEEP_JSON="${BENCH_BUILD_DIR}/micro_sweep.json"
 
 echo "== bench: micro_pgp =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
@@ -77,12 +81,17 @@ echo "== bench: micro_obs =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_obs" \
   --benchmark_format=json --benchmark_out="${OBS_JSON}" \
   --benchmark_out_format=json
+echo "== bench: micro_sweep =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_sweep" \
+  --benchmark_format=json --benchmark_out="${SWEEP_JSON}" \
+  --benchmark_out_format=json
 
-python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$OBS_JSON" "$BASELINE" <<'PY'
+python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$OBS_JSON" "$SWEEP_JSON" \
+  "$BASELINE" <<'PY'
 import json, sys
 
-pgp_path, pred_path, fault_path, obs_path, baseline_path = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+(pgp_path, pred_path, fault_path, obs_path, sweep_path,
+ baseline_path) = sys.argv[1:7]
 out = {
     "bench": "deploy",
     "build_type": "Release",
@@ -90,7 +99,54 @@ out = {
     "micro_predictor": json.load(open(pred_path)),
     "micro_fault": json.load(open(fault_path)),
     "micro_obs": json.load(open(obs_path)),
+    "micro_sweep": json.load(open(sweep_path)),
 }
+
+# Surface the benchmark library's own build type: timings taken against a
+# debug libbenchmark (distro default on some images) are tainted, and the
+# honest fix is building it from source — see CHIRON_BENCHMARK_SOURCE_DIR
+# in CMakeLists.txt.
+lib_build = out["micro_predictor"].get("context", {}).get(
+    "library_build_type", "unknown")
+out["benchmark_library_build_type"] = lib_build
+if lib_build != "release":
+    print("WARNING: libbenchmark build type is %r (want 'release'); "
+          "provide sources via CHIRON_BENCHMARK_SOURCE_DIR to clear the "
+          "timing taint" % lib_build)
+
+# Kernel-complexity aggregates: the BigO fits for the fast interleaving
+# kernels and their retired scan-per-step references, plus the measured
+# speedup at the largest size. check.sh guards the GIL fit against a
+# regression to N^2.
+def bigo(suite, family):
+    for b in out[suite].get("benchmarks", []):
+        if b.get("name") == family + "_BigO":
+            return {"big_o": b.get("big_o"),
+                    "cpu_coefficient": b.get("cpu_coefficient"),
+                    "real_coefficient": b.get("real_coefficient")}
+    return None
+
+def time_at(suite, name):
+    for b in out[suite].get("benchmarks", []):
+        if b.get("name") == name:
+            return b.get("real_time")
+    return None
+
+kernels = {}
+for family, ref in (("BM_GilSimulationThreads", "BM_GilSimulationThreadsSlowRef"),
+                    ("BM_CpuShareSimulation", "BM_CpuShareSimulationSlowRef")):
+    entry = {"fast": bigo("micro_predictor", family),
+             "slow_reference": bigo("micro_predictor", ref)}
+    fast512 = time_at("micro_predictor", family + "/512")
+    slow512 = time_at("micro_predictor", ref + "/512")
+    if fast512 and slow512:
+        entry["speedup_at_512"] = slow512 / fast512
+    kernels[family] = entry
+    if entry["fast"]:
+        print("%s: BigO %s, %.1fx vs slow reference at 512"
+              % (family, entry["fast"]["big_o"],
+                 entry.get("speedup_at_512", float("nan"))))
+out["kernel_bigo"] = kernels
 
 # Surface the recorder-overhead acceptance datapoint directly: the
 # recorder-on cluster run must stay within 5% of recorder-off.

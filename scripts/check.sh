@@ -27,6 +27,30 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 echo "== tier-1: bench smoke =="
 scripts/bench.sh --smoke
 
+echo "== tier-1: kernel BigO guard =="
+# The fast GIL kernel must stay event-driven: a quick complexity fit over
+# 8..512 threads (binary just built by the bench smoke) has to come out
+# at N log N or better. A fit of N^2 (or worse) means someone re-linearised
+# the inner loop — fail loudly before any timing is recorded.
+GUARD_JSON="${BENCH_BUILD_DIR:-build-bench}/bigo_guard.json"
+"${BENCH_BUILD_DIR:-build-bench}/bench/bench_micro_predictor" \
+  --benchmark_filter='BM_GilSimulationThreads/' --benchmark_min_time=0.01 \
+  --benchmark_format=json 2>/dev/null > "${GUARD_JSON}"
+python3 - "${GUARD_JSON}" <<'PY'
+import json, sys
+fits = {b["name"]: b.get("big_o")
+        for b in json.load(open(sys.argv[1])).get("benchmarks", [])
+        if b.get("aggregate_name") == "BigO"}
+fit = fits.get("BM_GilSimulationThreads_BigO")
+if fit is None:
+    sys.exit("BigO guard: no complexity fit emitted for "
+             "BM_GilSimulationThreads")
+print("BM_GilSimulationThreads BigO fit: %s" % fit)
+if fit in ("N^2", "N^3"):
+    sys.exit("BigO guard: GIL kernel regressed to %s (want <= N log N)"
+             % fit)
+PY
+
 echo "== tier-1: obs smoke =="
 # End-to-end observability: run a faulted chironctl with the embedded obs
 # endpoint + flight recorder, scrape /healthz + /metrics over HTTP, and
@@ -80,7 +104,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
   echo "== tsan: concurrency-sensitive subset =="
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs'
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs|Sweep'
 fi
 
 echo "== check.sh: all green =="

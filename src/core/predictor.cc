@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "runtime/resources.h"
 
 namespace chiron {
 namespace {

@@ -26,6 +26,11 @@ class RunningStats {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
 
+  /// Exact state equality (not tolerance-based): two accumulators compare
+  /// equal iff they absorbed the same sample stream in the same
+  /// merge/add structure. Used by the sweep determinism tests.
+  friend bool operator==(const RunningStats&, const RunningStats&) = default;
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "metrics/stats.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -41,6 +42,22 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config, RuntimeParams params)
 
 ClusterResult ClusterSimulator::run(const Backend& backend,
                                     std::size_t cascading_stages) const {
+  // Generate the arrival process and mint the request-id block up front,
+  // then hand off to the shared core. run_batch() does the same per
+  // (spec, seed) job *sequentially* before fanning out, which is what
+  // keeps batch results independent of the pool size.
+  Rng rng(config_.seed);
+  ArrivalGenerator arrivals(config_.arrivals, config_.offered_rps,
+                            rng.split());
+  const std::vector<TimeMs> arrival_times =
+      arrivals.generate(config_.horizon_ms);
+  return run_impl(backend, cascading_stages, arrival_times,
+                  obs::mint_request_ids(arrival_times.size()));
+}
+
+ClusterResult ClusterSimulator::run_impl(
+    const Backend& backend, std::size_t cascading_stages,
+    const std::vector<TimeMs>& arrival_times, std::uint64_t id_base) const {
   const ResourceUsage usage = backend.resources();
 
   // Instances the cluster can host; a deployment larger than one node
@@ -60,20 +77,19 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
       std::isfinite(capacity) ? static_cast<std::size_t>(capacity) : 0;
   max_instances = std::max<std::size_t>(1, max_instances);
 
+  // Reconstruct the seeded stream exactly as run() threads it: the first
+  // split fed the arrival generator, the second (below) drives service
+  // times.
   Rng rng(config_.seed);
-  ArrivalGenerator arrivals(config_.arrivals, config_.offered_rps,
-                            rng.split());
-  const std::vector<TimeMs> arrival_times =
-      arrivals.generate(config_.horizon_ms);
+  (void)rng.split();
 
   ClusterResult result;
   result.offered = arrival_times.size();
 
-  // Request causality: every request of this run gets a process-unique
-  // trace id minted up front; recorder and tracer events are keyed by it.
-  // Fault decisions keep hashing the arrival *index*, so the minted ids
-  // never change a seeded run's outcome.
-  const std::uint64_t id_base = obs::mint_request_ids(arrival_times.size());
+  // Request causality: every request of this run carries a process-unique
+  // trace id from the pre-minted block; recorder and tracer events are
+  // keyed by it. Fault decisions keep hashing the arrival *index*, so the
+  // minted ids never change a seeded run's outcome.
   result.request_id_base = id_base;
 
   const FaultInjector injector(config_.faults);
@@ -431,6 +447,9 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
     result.p95_ms = cdf.quantile(0.95);
     result.p99_ms = cdf.quantile(0.99);
   }
+  // Streaming accumulator in completion order (deterministic: virtual
+  // time), merged across seeds by run_batch.
+  for (double latency : latencies) result.latency_stats.add(latency);
   const TimeMs span = std::max(last_event, config_.horizon_ms);
   result.achieved_rps =
       span > 0.0 ? static_cast<double>(result.completed) / (span / 1000.0)
@@ -448,6 +467,76 @@ ClusterResult ClusterSimulator::run(const Backend& backend,
                      << result.dropped << " drops, peak queue "
                      << result.peak_queue;
   return result;
+}
+
+std::vector<ScenarioOutcome> ClusterSimulator::run_batch(
+    const std::vector<ScenarioSpec>& specs,
+    const std::vector<std::uint64_t>& seeds, const RuntimeParams& params,
+    ThreadPool* pool) {
+  // Per-(spec, seed) job, prepared sequentially in spec-major order so the
+  // arrival processes and the global request-id blocks are minted in a
+  // deterministic sequence regardless of how the runs are later scheduled.
+  struct Job {
+    ClusterConfig config;
+    const Backend* backend = nullptr;
+    std::size_t stages = 1;
+    std::vector<TimeMs> arrivals;
+    std::uint64_t id_base = 0;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(specs.size() * std::max<std::size_t>(1, seeds.size()));
+  for (const ScenarioSpec& spec : specs) {
+    const std::vector<std::uint64_t> spec_seeds =
+        seeds.empty() ? std::vector<std::uint64_t>{spec.config.seed} : seeds;
+    for (const std::uint64_t seed : spec_seeds) {
+      Job job;
+      job.config = spec.config;
+      job.config.seed = seed;
+      job.backend = spec.backend;
+      job.stages = spec.cascading_stages;
+      Rng rng(seed);
+      ArrivalGenerator arrivals(job.config.arrivals, job.config.offered_rps,
+                                rng.split());
+      job.arrivals = arrivals.generate(job.config.horizon_ms);
+      job.id_base = obs::mint_request_ids(job.arrivals.size());
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Independent deterministic runs: each gets its own simulator (and with
+  // it EventQueue, FaultInjector, Rng streams, and latency accumulator).
+  // map() returns results in job order whatever the worker count.
+  std::vector<ClusterResult> results =
+      ThreadPool::map(pool, jobs.size(), [&](std::size_t j) {
+        const Job& job = jobs[j];
+        const ClusterSimulator sim(job.config, params);
+        return sim.run_impl(*job.backend, job.stages, job.arrivals,
+                            job.id_base);
+      });
+
+  // Fold per-seed results into per-scenario outcomes.
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(specs.size());
+  std::size_t j = 0;
+  for (const ScenarioSpec& spec : specs) {
+    ScenarioOutcome outcome;
+    outcome.name = spec.name;
+    outcome.seeds =
+        seeds.empty() ? std::vector<std::uint64_t>{spec.config.seed} : seeds;
+    for (std::size_t k = 0; k < outcome.seeds.size(); ++k, ++j) {
+      ClusterResult& r = results[j];
+      outcome.latency_ms.merge(r.latency_stats);
+      outcome.achieved_rps.add(r.achieved_rps);
+      outcome.offered += r.offered;
+      outcome.completed += r.completed;
+      outcome.cold_starts += r.cold_starts;
+      outcome.timed_out += r.timed_out;
+      outcome.dropped += r.dropped;
+      outcome.runs.push_back(std::move(r));
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
 }
 
 }  // namespace chiron

@@ -12,12 +12,17 @@
 // wraps scale out as one unit.
 #pragma once
 
+#include <string>
+
 #include "fault/fault.h"
+#include "metrics/stats.h"
 #include "platform/backend.h"
 #include "runtime/params.h"
 #include "workflow/arrivals.h"
 
 namespace chiron {
+
+class ThreadPool;
 
 namespace obs {
 class Tracer;
@@ -88,6 +93,43 @@ struct ClusterResult {
   /// happened). Fault decisions still hash the arrival *index*, so ids
   /// never perturb seeded reproducibility.
   std::uint64_t request_id_base = 0;
+  /// Streaming accumulator over the same per-request end-to-end latencies
+  /// as mean/p50/p95/p99, fed in completion order. run_batch merges these
+  /// across seeds via RunningStats::merge.
+  RunningStats latency_stats;
+
+  /// Exact (bitwise) equality over every field — the sweep determinism
+  /// tests assert per-seed results are identical across pool sizes.
+  friend bool operator==(const ClusterResult&, const ClusterResult&) = default;
+};
+
+/// One scenario of a sweep: a cluster/load configuration driving a backend.
+/// The backend is not owned and must outlive the sweep; it is shared by
+/// every seed of the scenario (and possibly other scenarios), so it must
+/// be safe to call run() on concurrently — all plan backends are (their
+/// only mutable state is the thread-safe PredictionCache).
+struct ScenarioSpec {
+  std::string name;
+  ClusterConfig config;  ///< config.seed is overridden per sweep seed
+  const Backend* backend = nullptr;
+  /// Sequential cold-start fronts a scale-out pays (one-to-one: stage
+  /// count; wrap plans: 1) — same meaning as ClusterSimulator::run().
+  std::size_t cascading_stages = 1;
+};
+
+/// Aggregated outcome of one scenario across all sweep seeds.
+struct ScenarioOutcome {
+  std::string name;
+  std::vector<std::uint64_t> seeds;  ///< seeds actually run, in order
+  std::vector<ClusterResult> runs;   ///< runs[i] is the result for seeds[i]
+  RunningStats latency_ms;  ///< merged per-request e2e latency over seeds
+  RunningStats achieved_rps;  ///< distribution of per-run achieved rps
+  // Sums over runs.
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t cold_starts = 0;
+  std::size_t timed_out = 0;
+  std::size_t dropped = 0;
 };
 
 /// Cold-start penalty for scaling a deployment instance from zero. The
@@ -107,7 +149,27 @@ class ClusterSimulator {
   /// (one-to-one: the workflow's stage count; wrap plans: 1).
   ClusterResult run(const Backend& backend, std::size_t cascading_stages) const;
 
+  /// Scenario-sweep engine: runs every spec under every seed (spec-major
+  /// order) and fans the specs.size() * seeds.size() independent runs
+  /// across `pool` via ThreadPool::map. Each run gets its own
+  /// EventQueue, FaultInjector, Rng stream, and latency accumulator, and
+  /// its block of request ids is pre-minted sequentially before fan-out —
+  /// so per-seed ClusterResults are bit-identical whatever the pool size
+  /// (null or 1 worker = plain sequential loop). An empty `seeds` runs
+  /// each spec once under its own config.seed.
+  static std::vector<ScenarioOutcome> run_batch(
+      const std::vector<ScenarioSpec>& specs,
+      const std::vector<std::uint64_t>& seeds, const RuntimeParams& params,
+      ThreadPool* pool = nullptr);
+
  private:
+  /// Simulation core shared by run() and run_batch(): consumes
+  /// pre-generated arrival times and a pre-minted request-id block, so
+  /// batch runs can mint deterministically before fanning out.
+  ClusterResult run_impl(const Backend& backend, std::size_t cascading_stages,
+                         const std::vector<TimeMs>& arrival_times,
+                         std::uint64_t id_base) const;
+
   ClusterConfig config_;
   RuntimeParams params_;
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/predictor.h"
+#include "runtime/resources.h"
 
 namespace chiron {
 namespace {

@@ -1,87 +1,21 @@
 #include "runtime/gil.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
+#include <queue>
+
+#include "runtime/interleave_detail.h"
 
 namespace chiron {
 namespace {
 
-constexpr TimeMs kEps = 1e-9;
-
-enum class State : std::uint8_t { kNotReady, kRunnable, kBlocked, kDone };
-
-struct TaskState {
-  const FunctionBehavior* behavior = nullptr;
-  std::size_t seg = 0;        // index of current segment
-  TimeMs seg_remaining = 0.0; // remaining time in current segment
-  State state = State::kNotReady;
-  TimeMs ready = 0.0;
-  TimeMs unblock = 0.0;
-  TimeMs cpu = 0.0;
-  TimeMs start = -1.0;
-  TimeMs finish = 0.0;
-  std::vector<TimelineSpan> spans;
-};
-
-void push_span(TaskState& t, bool record, TimelineSpan::Kind kind, TimeMs b,
-               TimeMs e) {
-  if (!record || e - b <= kEps) return;
-  if (!t.spans.empty() && t.spans.back().kind == kind &&
-      std::abs(t.spans.back().end - b) <= kEps) {
-    t.spans.back().end = e;
-  } else {
-    t.spans.push_back({kind, b, e});
-  }
-}
-
-// Moves `t` into its segment `seg` at time `now`: becomes blocked, runnable,
-// or done. Returns true if the task finished.
-bool enter_segment(TaskState& t, TimeMs now, bool record) {
-  const auto& segs = t.behavior->segments();
-  while (t.seg < segs.size() && segs[t.seg].duration <= kEps) ++t.seg;
-  if (t.seg >= segs.size()) {
-    t.state = State::kDone;
-    t.finish = now;
-    return true;
-  }
-  const Segment& s = segs[t.seg];
-  t.seg_remaining = s.duration;
-  if (s.kind == Segment::Kind::kBlock) {
-    t.state = State::kBlocked;
-    t.unblock = now + s.duration;
-    if (t.start < 0.0) t.start = now;
-    push_span(t, record, TimelineSpan::Kind::kBlock, now, t.unblock);
-  } else {
-    t.state = State::kRunnable;
-  }
-  return false;
-}
-
-InterleaveResult collect(std::vector<TaskState>& states) {
-  InterleaveResult result;
-  result.tasks.reserve(states.size());
-  for (TaskState& t : states) {
-    TaskResult r;
-    r.ready_ms = t.ready;
-    r.start_ms = t.start < 0.0 ? t.finish : t.start;
-    r.finish_ms = t.finish;
-    r.cpu_ms = t.cpu;
-    r.spans = std::move(t.spans);
-    result.makespan = std::max(result.makespan, r.finish_ms);
-    result.tasks.push_back(std::move(r));
-  }
-  return result;
-}
-
-std::vector<TaskState> init_states(const std::vector<ThreadTask>& tasks) {
-  std::vector<TaskState> states(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    states[i].behavior = &tasks[i].behavior;
-    states[i].ready = tasks[i].ready_ms;
-  }
-  return states;
-}
+using interleave_detail::State;
+using interleave_detail::TaskState;
+using interleave_detail::collect;
+using interleave_detail::enter_segment;
+using interleave_detail::init_states;
+using interleave_detail::kEps;
+using interleave_detail::push_span;
 
 // Admits arrivals and expired blocks up to time `now`. Runs to a fixpoint
 // so that a chain of already-expired block segments is fully consumed and
@@ -129,6 +63,158 @@ GilSimulator::GilSimulator(TimeMs switch_interval_ms, bool record_spans,
       switch_cost_(switch_cost_ms) {}
 
 InterleaveResult GilSimulator::run(const std::vector<ThreadTask>& tasks) const {
+  std::vector<TaskState> states = init_states(tasks);
+  const std::size_t n = states.size();
+  constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  // Next-event calendar: one pending entry per kNotReady (its arrival) or
+  // kBlocked (its unblock) task; popped exactly when that transition is
+  // admitted, so entries are never stale. Pop order within a timestamp is
+  // by id, but admissions only touch per-task state, so order is
+  // irrelevant to the result — this is what makes the heap bit-identical
+  // to the reference fixpoint scan.
+  struct Ev {
+    TimeMs at;
+    std::size_t id;
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> events;
+
+  // CFS pick structure: min by exact (cpu, ready, id). The reference scan
+  // compares cpu with a +-kEps tolerance; distinct cpu totals are either
+  // exactly equal (identical accumulation histories) or separated by more
+  // than kEps (every quantum is > kEps), so the exact lexicographic min
+  // reproduces the reference fold — see DESIGN.md "Prediction kernel
+  // complexity". Entries go stale lazily: `gen` is bumped whenever a
+  // task's cpu changes or it leaves the runnable set.
+  struct Cand {
+    TimeMs cpu;
+    TimeMs ready;
+    std::size_t id;
+    std::uint64_t gen;
+  };
+  struct CandLater {
+    bool operator()(const Cand& a, const Cand& b) const {
+      if (a.cpu != b.cpu) return a.cpu > b.cpu;
+      if (a.ready != b.ready) return a.ready > b.ready;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Cand, std::vector<Cand>, CandLater> cands;
+  std::vector<std::uint64_t> gen(n, 0);
+
+  // O(1) runnable set (ids + positions): contended check and wait-span
+  // enumeration.
+  std::vector<std::size_t> runnable;
+  std::vector<std::size_t> pos(n, kNoPos);
+  std::size_t done = 0;
+
+  auto add_runnable = [&](std::size_t id) {
+    pos[id] = runnable.size();
+    runnable.push_back(id);
+    cands.push({states[id].cpu, states[id].ready, id, gen[id]});
+  };
+  auto remove_runnable = [&](std::size_t id) {
+    const std::size_t p = pos[id];
+    const std::size_t last = runnable.back();
+    runnable[p] = last;
+    pos[last] = p;
+    runnable.pop_back();
+    pos[id] = kNoPos;
+    ++gen[id];  // pending pick entries for `id` are now stale
+  };
+  // Registers the side structures for the state `id` landed in after
+  // enter_segment.
+  auto settle = [&](std::size_t id) {
+    TaskState& t = states[id];
+    switch (t.state) {
+      case State::kRunnable: add_runnable(id); break;
+      case State::kBlocked: events.push({t.unblock, id}); break;
+      case State::kDone: ++done; break;
+      case State::kNotReady: break;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) events.push({states[i].ready, i});
+
+  TimeMs now = 0.0;
+  std::size_t last_holder = n;  // sentinel: no previous holder
+
+  while (done < n) {
+    // Admit arrivals and expired blocks up to `now`; chains of expired
+    // blocks re-enter the loop via the pushed unblock entries, matching
+    // the reference fixpoint.
+    while (!events.empty() && events.top().at <= now + kEps) {
+      const std::size_t id = events.top().id;
+      events.pop();
+      TaskState& t = states[id];
+      if (t.state == State::kNotReady) {
+        enter_segment(t, t.ready, record_spans_);
+      } else {
+        const TimeMs at = t.unblock;
+        ++t.seg;
+        enter_segment(t, at, record_spans_);
+      }
+      settle(id);
+    }
+
+    if (runnable.empty()) {
+      if (events.empty()) break;  // defensive: nothing left to run
+      now = std::max(now, events.top().at);
+      continue;
+    }
+
+    // CFS pick: least accumulated CPU time; ties by earliest ready, then id.
+    while (!cands.empty() && cands.top().gen != gen[cands.top().id]) {
+      cands.pop();
+    }
+    const std::size_t holder = cands.top().id;
+
+    // Handoff cost when the interpreter switches threads.
+    if (switch_cost_ > 0.0 && holder != last_holder && last_holder != n) {
+      now += switch_cost_;
+    }
+    last_holder = holder;
+
+    TaskState& h = states[holder];
+    if (h.start < 0.0) h.start = now;
+    const bool contended = runnable.size() > 1;
+    TimeMs dt = h.seg_remaining;
+    if (contended) dt = std::min(dt, switch_interval_);
+    dt = std::max(dt, kEps);
+
+    push_span(h, record_spans_, TimelineSpan::Kind::kCpu, now, now + dt);
+    if (record_spans_) {
+      for (std::size_t idx : runnable) {
+        if (idx != holder) {
+          push_span(states[idx], true, TimelineSpan::Kind::kWait, now, now + dt);
+        }
+      }
+    }
+
+    now += dt;
+    h.cpu += dt;
+    h.seg_remaining -= dt;
+    ++gen[holder];  // cpu changed: invalidate the peeked entry
+    if (h.seg_remaining <= kEps) {
+      ++h.seg;
+      remove_runnable(holder);
+      enter_segment(h, now, record_spans_);
+      settle(holder);
+    } else {
+      cands.push({h.cpu, h.ready, holder, gen[holder]});
+    }
+  }
+  return collect(states);
+}
+
+InterleaveResult GilSimulator::run_slow_reference(
+    const std::vector<ThreadTask>& tasks) const {
   std::vector<TaskState> states = init_states(tasks);
   TimeMs now = 0.0;
   std::size_t last_holder = states.size();  // sentinel: no previous holder
@@ -188,62 +274,6 @@ InterleaveResult GilSimulator::run(const std::vector<ThreadTask>& tasks) const {
     if (h.seg_remaining <= kEps) {
       ++h.seg;
       enter_segment(h, now, record_spans_);
-    }
-  }
-  return collect(states);
-}
-
-CpuShareSimulator::CpuShareSimulator(std::size_t cpus, bool record_spans)
-    : cpus_(cpus == 0 ? 1 : cpus), record_spans_(record_spans) {}
-
-InterleaveResult CpuShareSimulator::run(
-    const std::vector<ThreadTask>& tasks) const {
-  std::vector<TaskState> states = init_states(tasks);
-  TimeMs now = 0.0;
-
-  while (!all_done(states)) {
-    process_events(states, now, record_spans_);
-
-    std::vector<std::size_t> runnable;
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      if (states[i].state == State::kRunnable) runnable.push_back(i);
-    }
-    if (runnable.empty()) {
-      const TimeMs next = next_event(states);
-      if (!std::isfinite(next)) break;
-      now = std::max(now, next);
-      continue;
-    }
-
-    // Fluid processor sharing: each runnable task progresses at `rate`.
-    const double rate = std::min(
-        1.0, static_cast<double>(cpus_) / static_cast<double>(runnable.size()));
-
-    // Advance to the earliest of: a runnable segment completing at this
-    // rate, an arrival, or an unblock.
-    TimeMs dt = std::numeric_limits<TimeMs>::infinity();
-    for (std::size_t idx : runnable) {
-      dt = std::min(dt, states[idx].seg_remaining / rate);
-    }
-    const TimeMs next = next_event(states);
-    if (std::isfinite(next) && next > now) dt = std::min(dt, next - now);
-    dt = std::max(dt, kEps);
-
-    for (std::size_t idx : runnable) {
-      TaskState& t = states[idx];
-      if (t.start < 0.0) t.start = now;
-      const TimeMs progress = rate * dt;
-      push_span(t, record_spans_, TimelineSpan::Kind::kCpu, now, now + dt);
-      t.cpu += progress;
-      t.seg_remaining -= progress;
-    }
-    now += dt;
-    for (std::size_t idx : runnable) {
-      TaskState& t = states[idx];
-      if (t.state == State::kRunnable && t.seg_remaining <= kEps * 10) {
-        ++t.seg;
-        enter_segment(t, now, record_spans_);
-      }
     }
   }
   return collect(states);

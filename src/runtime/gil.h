@@ -6,12 +6,19 @@
 // the GIL and proceed concurrently; the next holder is the runnable thread
 // with the least accumulated CPU time (CFS, §3.3 Algorithm 1 line 17).
 //
-// CpuShareSimulator models true parallelism on a bounded number of CPUs
-// with fluid processor sharing — the behaviour of Java threads and of a
-// process pool pinned to k cores (paper §4, Fig. 7).
+// CpuShareSimulator (runtime/resources.h) models true parallelism on a
+// bounded number of CPUs with fluid processor sharing — the behaviour of
+// Java threads and of a process pool pinned to k cores (paper §4, Fig. 7).
 //
 // Both engines consume the same ThreadTask inputs and produce the same
 // result shape, so every deployment backend and the Predictor share them.
+//
+// Each engine ships two implementations: run() is the event-driven
+// O(E log N) kernel (next-event calendar + indexed run queue) that every
+// caller uses, and run_slow_reference() is the original scan-per-step
+// O(E*N) loop kept as the semantic reference — parity tests assert the
+// two return bit-identical results (see DESIGN.md "Prediction kernel
+// complexity & scenario sweeps").
 #pragma once
 
 #include <vector>
@@ -63,27 +70,20 @@ class GilSimulator {
   explicit GilSimulator(TimeMs switch_interval_ms, bool record_spans = false,
                         TimeMs switch_cost_ms = 0.0);
 
-  /// Simulates all tasks to completion. Deterministic.
+  /// Simulates all tasks to completion. Deterministic. O(E log N) in the
+  /// number of scheduling events E (segment entries, preemptions,
+  /// arrivals) via a next-event calendar and a CFS pick heap.
   InterleaveResult run(const std::vector<ThreadTask>& tasks) const;
+
+  /// The original O(E*N) scan-per-step loop, kept as the semantic
+  /// reference for parity tests. Bit-identical to run().
+  InterleaveResult run_slow_reference(
+      const std::vector<ThreadTask>& tasks) const;
 
  private:
   TimeMs switch_interval_;
   bool record_spans_;
   TimeMs switch_cost_;
-};
-
-/// True-parallel execution of tasks on `cpus` cores with fluid processor
-/// sharing when runnable tasks exceed cores.
-class CpuShareSimulator {
- public:
-  explicit CpuShareSimulator(std::size_t cpus, bool record_spans = false);
-
-  /// Simulates all tasks to completion. Deterministic.
-  InterleaveResult run(const std::vector<ThreadTask>& tasks) const;
-
- private:
-  std::size_t cpus_;
-  bool record_spans_;
 };
 
 /// Builds staggered thread tasks: task i becomes ready at

@@ -1,0 +1,98 @@
+// Internal state machinery shared by the interleaving kernels
+// (GilSimulator in gil.cc, CpuShareSimulator in resources.cc). Both the
+// fast event-driven kernels and their linear-scan slow_reference
+// counterparts run exactly these helpers, so per-task transitions are
+// identical by construction and parity only hinges on event ordering.
+//
+// Not installed / not part of the public surface: include only from
+// runtime/*.cc.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/gil.h"
+
+namespace chiron {
+namespace interleave_detail {
+
+constexpr TimeMs kEps = 1e-9;
+
+enum class State : std::uint8_t { kNotReady, kRunnable, kBlocked, kDone };
+
+struct TaskState {
+  const FunctionBehavior* behavior = nullptr;
+  std::size_t seg = 0;        // index of current segment
+  TimeMs seg_remaining = 0.0; // remaining time in current segment
+  State state = State::kNotReady;
+  TimeMs ready = 0.0;
+  TimeMs unblock = 0.0;
+  TimeMs cpu = 0.0;
+  TimeMs start = -1.0;
+  TimeMs finish = 0.0;
+  std::vector<TimelineSpan> spans;
+};
+
+inline void push_span(TaskState& t, bool record, TimelineSpan::Kind kind,
+                      TimeMs b, TimeMs e) {
+  if (!record || e - b <= kEps) return;
+  if (!t.spans.empty() && t.spans.back().kind == kind &&
+      std::abs(t.spans.back().end - b) <= kEps) {
+    t.spans.back().end = e;
+  } else {
+    t.spans.push_back({kind, b, e});
+  }
+}
+
+// Moves `t` into its segment `seg` at time `now`: becomes blocked, runnable,
+// or done. Returns true if the task finished.
+inline bool enter_segment(TaskState& t, TimeMs now, bool record) {
+  const auto& segs = t.behavior->segments();
+  while (t.seg < segs.size() && segs[t.seg].duration <= kEps) ++t.seg;
+  if (t.seg >= segs.size()) {
+    t.state = State::kDone;
+    t.finish = now;
+    return true;
+  }
+  const Segment& s = segs[t.seg];
+  t.seg_remaining = s.duration;
+  if (s.kind == Segment::Kind::kBlock) {
+    t.state = State::kBlocked;
+    t.unblock = now + s.duration;
+    if (t.start < 0.0) t.start = now;
+    push_span(t, record, TimelineSpan::Kind::kBlock, now, t.unblock);
+  } else {
+    t.state = State::kRunnable;
+  }
+  return false;
+}
+
+inline InterleaveResult collect(std::vector<TaskState>& states) {
+  InterleaveResult result;
+  result.tasks.reserve(states.size());
+  for (TaskState& t : states) {
+    TaskResult r;
+    r.ready_ms = t.ready;
+    r.start_ms = t.start < 0.0 ? t.finish : t.start;
+    r.finish_ms = t.finish;
+    r.cpu_ms = t.cpu;
+    r.spans = std::move(t.spans);
+    result.makespan = std::max(result.makespan, r.finish_ms);
+    result.tasks.push_back(std::move(r));
+  }
+  return result;
+}
+
+inline std::vector<TaskState> init_states(
+    const std::vector<ThreadTask>& tasks) {
+  std::vector<TaskState> states(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    states[i].behavior = &tasks[i].behavior;
+    states[i].ready = tasks[i].ready_ms;
+  }
+  return states;
+}
+
+}  // namespace interleave_detail
+}  // namespace chiron

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <queue>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/interleave_detail.h"
 
 namespace chiron {
 
@@ -52,6 +57,260 @@ double node_throughput_rps(const RuntimeParams& params,
   const double by_mem = params.node_memory_mb / usage.memory_mb;
   const double instances = std::min(by_cpu, by_mem);
   return instances * (1000.0 / latency_ms);
+}
+
+namespace {
+
+using interleave_detail::State;
+using interleave_detail::TaskState;
+using interleave_detail::collect;
+using interleave_detail::enter_segment;
+using interleave_detail::init_states;
+using interleave_detail::kEps;
+using interleave_detail::push_span;
+
+// A CPU segment is deemed finished once the shared work coordinate is
+// within kDoneEps of its completion coordinate — absorbs the kEps floor
+// on breakpoint steps.
+constexpr TimeMs kDoneEps = 10 * kEps;
+
+// Earliest pending arrival or unblock, or +inf (slow reference only; the
+// fast kernel peeks its event calendar instead — same value).
+TimeMs next_event(const std::vector<TaskState>& states) {
+  TimeMs next = std::numeric_limits<TimeMs>::infinity();
+  for (const TaskState& t : states) {
+    if (t.state == State::kNotReady) next = std::min(next, t.ready);
+    if (t.state == State::kBlocked) next = std::min(next, t.unblock);
+  }
+  return next;
+}
+
+bool all_done(const std::vector<TaskState>& states) {
+  return std::all_of(states.begin(), states.end(), [](const TaskState& t) {
+    return t.state == State::kDone;
+  });
+}
+
+}  // namespace
+
+CpuShareSimulator::CpuShareSimulator(std::size_t cpus, bool record_spans)
+    : cpus_(cpus == 0 ? 1 : cpus), record_spans_(record_spans) {}
+
+// Both kernels below advance a shared work coordinate W with the SAME
+// float operations in the SAME order (W += rate * dt at each breakpoint;
+// rate = min(1, cpus/R); dt = (wmin - W)/rate capped by the next
+// arrival/unblock and floored at kEps). A task entering a CPU segment at
+// coordinate W0 stores w_fin = W0 + duration and completes once
+// w_fin <= W + kDoneEps; its cpu time is charged as the exact segment
+// duration at completion and its span covers [run_begin, completion].
+// The only difference is how wmin / the next event are FOUND (heaps vs
+// linear scans) — the values are identical, so results are bit-identical.
+
+InterleaveResult CpuShareSimulator::run(
+    const std::vector<ThreadTask>& tasks) const {
+  std::vector<TaskState> states = init_states(tasks);
+  const std::size_t n = states.size();
+
+  // Next-event calendar: one pending entry per kNotReady (arrival) or
+  // kBlocked (unblock) task; popped exactly when admitted, never stale.
+  struct Ev {
+    TimeMs at;
+    std::size_t id;
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> events;
+
+  // Completion calendar in work coordinates: one live entry per runnable
+  // task keyed (w_fin, id). A task leaves the runnable set only by being
+  // popped here, so entries are never stale either.
+  struct Fin {
+    TimeMs w_fin;
+    std::size_t id;
+  };
+  struct FinLater {
+    bool operator()(const Fin& a, const Fin& b) const {
+      if (a.w_fin != b.w_fin) return a.w_fin > b.w_fin;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Fin, std::vector<Fin>, FinLater> fins;
+
+  std::vector<TimeMs> run_begin(n, 0.0);
+  std::size_t runnable = 0;
+  std::size_t done = 0;
+  TimeMs now = 0.0;
+  TimeMs work = 0.0;  // shared work coordinate W
+
+  // Registers the side structures for the state `id` landed in after
+  // enter_segment at wall time `at`.
+  auto settle = [&](std::size_t id, TimeMs at) {
+    TaskState& t = states[id];
+    switch (t.state) {
+      case State::kRunnable:
+        if (t.start < 0.0) t.start = at;
+        run_begin[id] = at;
+        ++runnable;
+        fins.push({work + t.seg_remaining, id});
+        break;
+      case State::kBlocked: events.push({t.unblock, id}); break;
+      case State::kDone: ++done; break;
+      case State::kNotReady: break;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) events.push({states[i].ready, i});
+
+  while (done < n) {
+    // Admit arrivals and expired blocks up to `now`.
+    while (!events.empty() && events.top().at <= now + kEps) {
+      const std::size_t id = events.top().id;
+      events.pop();
+      TaskState& t = states[id];
+      TimeMs at;
+      if (t.state == State::kNotReady) {
+        at = t.ready;
+      } else {
+        at = t.unblock;
+        ++t.seg;
+      }
+      enter_segment(t, at, record_spans_);
+      settle(id, at);
+    }
+
+    if (runnable == 0) {
+      if (events.empty()) break;  // defensive: nothing left to run
+      now = std::max(now, events.top().at);
+      continue;
+    }
+
+    // Fluid processor sharing: each runnable task progresses at `rate`.
+    const double rate = std::min(
+        1.0, static_cast<double>(cpus_) / static_cast<double>(runnable));
+
+    // Advance to the earliest of: a runnable segment completing at this
+    // rate, an arrival, or an unblock.
+    TimeMs dt = (fins.top().w_fin - work) / rate;
+    if (!events.empty() && events.top().at > now) {
+      dt = std::min(dt, events.top().at - now);
+    }
+    dt = std::max(dt, kEps);
+    now += dt;
+    work += rate * dt;
+
+    // Complete every segment the work coordinate has reached; chains of
+    // tiny follow-on segments re-enter via the pushed entries.
+    while (!fins.empty() && fins.top().w_fin <= work + kDoneEps) {
+      const std::size_t id = fins.top().id;
+      fins.pop();
+      --runnable;
+      TaskState& t = states[id];
+      t.cpu += t.seg_remaining;
+      push_span(t, record_spans_, TimelineSpan::Kind::kCpu, run_begin[id], now);
+      ++t.seg;
+      enter_segment(t, now, record_spans_);
+      settle(id, now);
+    }
+  }
+  return collect(states);
+}
+
+InterleaveResult CpuShareSimulator::run_slow_reference(
+    const std::vector<ThreadTask>& tasks) const {
+  std::vector<TaskState> states = init_states(tasks);
+  const std::size_t n = states.size();
+  std::vector<TimeMs> w_fin(n, 0.0);
+  std::vector<TimeMs> run_begin(n, 0.0);
+  TimeMs now = 0.0;
+  TimeMs work = 0.0;  // shared work coordinate W
+
+  auto settle = [&](std::size_t id, TimeMs at) {
+    TaskState& t = states[id];
+    if (t.state == State::kRunnable) {
+      if (t.start < 0.0) t.start = at;
+      run_begin[id] = at;
+      w_fin[id] = work + t.seg_remaining;
+    }
+  };
+
+  while (!all_done(states)) {
+    // Admit arrivals and expired blocks up to `now` (fixpoint so chains
+    // of already-expired block segments are fully consumed).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        TaskState& t = states[i];
+        TimeMs at;
+        if (t.state == State::kNotReady && t.ready <= now + kEps) {
+          at = t.ready;
+        } else if (t.state == State::kBlocked && t.unblock <= now + kEps) {
+          at = t.unblock;
+          ++t.seg;
+        } else {
+          continue;
+        }
+        enter_segment(t, at, record_spans_);
+        settle(i, at);
+        changed = true;
+      }
+    }
+
+    // Gather the runnable set and its earliest completion coordinate.
+    std::size_t runnable = 0;
+    TimeMs wmin = std::numeric_limits<TimeMs>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (states[i].state == State::kRunnable) {
+        ++runnable;
+        wmin = std::min(wmin, w_fin[i]);
+      }
+    }
+    if (runnable == 0) {
+      const TimeMs next = next_event(states);
+      if (!std::isfinite(next)) break;  // defensive: nothing left to run
+      now = std::max(now, next);
+      continue;
+    }
+
+    // Fluid processor sharing: each runnable task progresses at `rate`.
+    const double rate = std::min(
+        1.0, static_cast<double>(cpus_) / static_cast<double>(runnable));
+
+    // Advance to the earliest of: a runnable segment completing at this
+    // rate, an arrival, or an unblock.
+    TimeMs dt = (wmin - work) / rate;
+    const TimeMs next = next_event(states);
+    if (std::isfinite(next) && next > now) dt = std::min(dt, next - now);
+    dt = std::max(dt, kEps);
+    now += dt;
+    work += rate * dt;
+
+    // Complete every segment the work coordinate has reached (fixpoint so
+    // chains of tiny follow-on CPU segments complete in the same round,
+    // matching the fast kernel's pop loop).
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        TaskState& t = states[i];
+        if (t.state != State::kRunnable || w_fin[i] > work + kDoneEps) {
+          continue;
+        }
+        t.cpu += t.seg_remaining;
+        push_span(t, record_spans_, TimelineSpan::Kind::kCpu, run_begin[i],
+                  now);
+        ++t.seg;
+        enter_segment(t, now, record_spans_);
+        settle(i, now);
+        changed = true;
+      }
+    }
+  }
+  return collect(states);
 }
 
 }  // namespace chiron

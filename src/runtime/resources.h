@@ -1,10 +1,13 @@
-// Resource accounting: memory footprint, CPU allocation, dollar cost, and
-// the single-worker-node throughput model used by Fig. 8/16/17/19.
+// Resource accounting: memory footprint, CPU allocation, dollar cost, the
+// single-worker-node throughput model used by Fig. 8/16/17/19 — and the
+// CPU-share interleaving kernel (CpuShareSimulator) that models how tasks
+// progress on a bounded CPU allocation.
 #pragma once
 
 #include <cstddef>
 
 #include "common/types.h"
+#include "runtime/gil.h"
 #include "runtime/params.h"
 
 namespace chiron {
@@ -40,5 +43,34 @@ double cost_per_request_usd(const RuntimeParams& params,
 /// request per `latency_ms` (Fig. 16 normalisation).
 double node_throughput_rps(const RuntimeParams& params,
                            const ResourceUsage& usage, TimeMs latency_ms);
+
+/// True-parallel execution of tasks on `cpus` cores with fluid processor
+/// sharing when runnable tasks exceed cores — the behaviour of Java
+/// threads and of a process pool pinned to k cores (paper §4, Fig. 7).
+///
+/// Progress is tracked on a shared work coordinate W (ms of per-task
+/// progress): while R tasks are runnable each advances at rate
+/// min(1, cpus/R), a CPU segment entered at W0 completes at exactly
+/// W0 + duration, and segment boundaries / arrivals / unblocks are the
+/// only breakpoints the kernel visits. run() finds each breakpoint
+/// through heaps (O(E log N)); run_slow_reference() re-scans all tasks
+/// per breakpoint (O(E*N)) with the same arithmetic, making the two
+/// bit-identical by construction.
+class CpuShareSimulator {
+ public:
+  explicit CpuShareSimulator(std::size_t cpus, bool record_spans = false);
+
+  /// Simulates all tasks to completion. Deterministic, O(E log N).
+  InterleaveResult run(const std::vector<ThreadTask>& tasks) const;
+
+  /// Linear-scan reference with identical breakpoint arithmetic, kept for
+  /// parity tests. Bit-identical to run().
+  InterleaveResult run_slow_reference(
+      const std::vector<ThreadTask>& tasks) const;
+
+ private:
+  std::size_t cpus_;
+  bool record_spans_;
+};
 
 }  // namespace chiron

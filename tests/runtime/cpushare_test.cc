@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/gil.h"
+#include "runtime/resources.h"
 
 namespace chiron {
 namespace {

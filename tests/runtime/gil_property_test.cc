@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "runtime/gil.h"
+#include "runtime/resources.h"
 
 namespace chiron {
 namespace {

@@ -1,0 +1,143 @@
+// Bit-identity parity between the fast event-driven interleaving kernels
+// and their scan-per-step slow_reference counterparts.
+//
+// These are NOT tolerance tests: the fast kernels are required to perform
+// the same float operations in the same order as the references, so every
+// makespan, per-task timestamp, CPU total, and span edge must compare
+// equal with ==. Any reordering of arithmetic in either kernel shows up
+// here immediately (see DESIGN.md "Prediction kernel complexity &
+// scenario sweeps").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/gil.h"
+#include "runtime/resources.h"
+#include "workflow/benchmarks.h"
+
+namespace chiron {
+namespace {
+
+// Asserts r1 == r2 field-for-field, bitwise on every double.
+void expect_bit_identical(const InterleaveResult& fast,
+                          const InterleaveResult& slow) {
+  ASSERT_EQ(fast.tasks.size(), slow.tasks.size());
+  EXPECT_EQ(fast.makespan, slow.makespan);
+  for (std::size_t i = 0; i < fast.tasks.size(); ++i) {
+    SCOPED_TRACE("task " + std::to_string(i));
+    const TaskResult& f = fast.tasks[i];
+    const TaskResult& s = slow.tasks[i];
+    EXPECT_EQ(f.ready_ms, s.ready_ms);
+    EXPECT_EQ(f.start_ms, s.start_ms);
+    EXPECT_EQ(f.finish_ms, s.finish_ms);
+    EXPECT_EQ(f.cpu_ms, s.cpu_ms);
+    ASSERT_EQ(f.spans.size(), s.spans.size());
+    for (std::size_t k = 0; k < f.spans.size(); ++k) {
+      SCOPED_TRACE("span " + std::to_string(k));
+      EXPECT_EQ(f.spans[k].kind, s.spans[k].kind);
+      EXPECT_EQ(f.spans[k].begin, s.spans[k].begin);
+      EXPECT_EQ(f.spans[k].end, s.spans[k].end);
+    }
+  }
+}
+
+// Random behaviour traces stressing the kernels' edge cases: varying
+// segment counts (including empty behaviours), zero-length and near-zero
+// segments, I/O-heavy mixes where the runnable set keeps draining, and
+// tied ready times that exercise the CFS tie-breaks.
+std::vector<ThreadTask> random_tasks(Rng& rng) {
+  const std::size_t n = 1 + rng.below(14);
+  std::vector<ThreadTask> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Segment> segs;
+    const std::size_t parts = rng.below(9);  // 0 segments allowed
+    for (std::size_t p = 0; p < parts; ++p) {
+      const Segment::Kind kind = rng.uniform() < 0.5 ? Segment::Kind::kCpu
+                                                     : Segment::Kind::kBlock;
+      TimeMs dur;
+      const double shape = rng.uniform();
+      if (shape < 0.15) {
+        dur = 0.0;  // zero-length segment: must be skipped identically
+      } else if (shape < 0.3) {
+        dur = rng.uniform(0.0, 1e-8);  // around the kEps admission window
+      } else if (shape < 0.6 && kind == Segment::Kind::kBlock) {
+        dur = rng.uniform(5.0, 40.0);  // I/O-drop: long blocks drain the
+                                       // runnable set to zero and back
+      } else {
+        dur = rng.uniform(0.0, 12.0);
+      }
+      segs.push_back({kind, dur});
+    }
+    // Half the tasks share exact ready times so the pick tie-breaks fire.
+    const TimeMs ready =
+        rng.uniform() < 0.5 ? static_cast<TimeMs>(rng.below(4)) * 2.5
+                            : rng.uniform(0.0, 10.0);
+    tasks.push_back({FunctionBehavior(std::move(segs)), ready});
+  }
+  return tasks;
+}
+
+class GilParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(GilParity, FastKernelBitIdenticalToReference) {
+  Rng rng(90001 + GetParam());
+  const auto tasks = random_tasks(rng);
+  const bool spans = GetParam() % 2 == 0;
+  const TimeMs switch_cost = GetParam() % 3 == 0 ? 0.07 : 0.0;
+  GilSimulator sim(5.0, spans, switch_cost);
+  expect_bit_identical(sim.run(tasks), sim.run_slow_reference(tasks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GilParity, ::testing::Range(0, 40));
+
+class CpuShareParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuShareParity, FastKernelBitIdenticalToReference) {
+  Rng rng(70001 + GetParam());
+  const auto tasks = random_tasks(rng);
+  const std::size_t cpus = 1 + rng.below(6);
+  const bool spans = GetParam() % 2 == 0;
+  CpuShareSimulator sim(cpus, spans);
+  expect_bit_identical(sim.run(tasks), sim.run_slow_reference(tasks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuShareParity, ::testing::Range(0, 40));
+
+// The canonical benchmark workloads (what BM_GilSimulationThreads and the
+// Predictor actually feed the kernels) must agree too, at sizes well past
+// the random traces.
+TEST(InterleaveParity, BenchmarkShapedWorkloadsAgree) {
+  for (const std::size_t n : {8u, 64u, 256u}) {
+    std::vector<FunctionBehavior> behaviors;
+    for (std::size_t i = 0; i < n; ++i) {
+      behaviors.push_back(i % 2 == 0 ? cpu_bound(3.0)
+                                     : disk_io_bound(2.0, 6.0, 2));
+    }
+    const auto tasks = staggered_tasks(behaviors, 0.3);
+    GilSimulator gil(5.0);
+    expect_bit_identical(gil.run(tasks), gil.run_slow_reference(tasks));
+    CpuShareSimulator share(4);
+    expect_bit_identical(share.run(tasks), share.run_slow_reference(tasks));
+  }
+}
+
+// Degenerate inputs every caller can produce.
+TEST(InterleaveParity, DegenerateInputsAgree) {
+  std::vector<std::vector<ThreadTask>> cases;
+  cases.push_back({});  // no tasks at all
+  cases.push_back({{FunctionBehavior(std::vector<Segment>{}), 0.0}});
+  cases.push_back(
+      {{FunctionBehavior({{Segment::Kind::kCpu, 0.0}}), 5.0}});
+  cases.push_back({{FunctionBehavior({{Segment::Kind::kBlock, 10.0}}), 0.0},
+                   {FunctionBehavior({{Segment::Kind::kBlock, 10.0}}), 0.0}});
+  for (const auto& tasks : cases) {
+    GilSimulator gil(5.0, /*record_spans=*/true);
+    expect_bit_identical(gil.run(tasks), gil.run_slow_reference(tasks));
+    CpuShareSimulator share(2, /*record_spans=*/true);
+    expect_bit_identical(share.run(tasks), share.run_slow_reference(tasks));
+  }
+}
+
+}  // namespace
+}  // namespace chiron
