@@ -34,7 +34,7 @@ echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
 cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
   --target bench_micro_pgp bench_micro_predictor bench_micro_fault \
-           bench_micro_obs bench_micro_sweep
+           bench_micro_obs bench_micro_sweep bench_micro_cluster
 
 if [[ "${SMOKE}" == "1" ]]; then
   # One tiny repetition per suite: proves the binaries run and produce
@@ -55,6 +55,9 @@ if [[ "${SMOKE}" == "1" ]]; then
   "${BENCH_BUILD_DIR}/bench/bench_micro_sweep" \
     --benchmark_filter='BM_SweepSequential/2$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_cluster" \
+    --benchmark_filter='BM_ClusterRun/1024$' --benchmark_min_time=0.01 \
+    --benchmark_format=json >/dev/null
   echo "== bench: smoke OK =="
   exit 0
 fi
@@ -64,6 +67,7 @@ PRED_JSON="${BENCH_BUILD_DIR}/micro_predictor.json"
 FAULT_JSON="${BENCH_BUILD_DIR}/micro_fault.json"
 OBS_JSON="${BENCH_BUILD_DIR}/micro_obs.json"
 SWEEP_JSON="${BENCH_BUILD_DIR}/micro_sweep.json"
+CLUSTER_JSON="${BENCH_BUILD_DIR}/micro_cluster.json"
 
 echo "== bench: micro_pgp =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
@@ -85,13 +89,17 @@ echo "== bench: micro_sweep =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_sweep" \
   --benchmark_format=json --benchmark_out="${SWEEP_JSON}" \
   --benchmark_out_format=json
+echo "== bench: micro_cluster =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_cluster" \
+  --benchmark_format=json --benchmark_out="${CLUSTER_JSON}" \
+  --benchmark_out_format=json
 
 python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$OBS_JSON" "$SWEEP_JSON" \
-  "$BASELINE" <<'PY'
+  "$CLUSTER_JSON" "$BASELINE" <<'PY'
 import json, sys
 
-(pgp_path, pred_path, fault_path, obs_path, sweep_path,
- baseline_path) = sys.argv[1:7]
+(pgp_path, pred_path, fault_path, obs_path, sweep_path, cluster_path,
+ baseline_path) = sys.argv[1:8]
 out = {
     "bench": "deploy",
     "build_type": "Release",
@@ -100,6 +108,7 @@ out = {
     "micro_fault": json.load(open(fault_path)),
     "micro_obs": json.load(open(obs_path)),
     "micro_sweep": json.load(open(sweep_path)),
+    "micro_cluster": json.load(open(cluster_path)),
 }
 
 # Surface the benchmark library's own build type: timings taken against a
@@ -147,6 +156,21 @@ for family, ref in (("BM_GilSimulationThreads", "BM_GilSimulationThreadsSlowRef"
               % (family, entry["fast"]["big_o"],
                  entry.get("speedup_at_512", float("nan"))))
 out["kernel_bigo"] = kernels
+
+# Serving-loop hot path: the typed-event loop (slab events, lazy arrival
+# and timeout merges, O(1) cancellation) vs the retired closure loop, on
+# the high-churn overload scenario. check.sh guards the fast fit against
+# superlinear regressions and the speedup at 64k against < 2x.
+cluster = {"fast": bigo("micro_cluster", "BM_ClusterRun"),
+           "reference": bigo("micro_cluster", "BM_ClusterRunReference")}
+fast64 = time_at("micro_cluster", "BM_ClusterRun/65536")
+ref64 = time_at("micro_cluster", "BM_ClusterRunReference/65536")
+if fast64 and ref64:
+    cluster["speedup_at_65536"] = ref64 / fast64
+    print("cluster hot path: BigO %s, %.1fx vs closure reference at 65536"
+          % (cluster["fast"]["big_o"] if cluster["fast"] else "?",
+             cluster["speedup_at_65536"]))
+out["cluster_hotpath"] = cluster
 
 # Surface the recorder-overhead acceptance datapoint directly: the
 # recorder-on cluster run must stay within 5% of recorder-off.

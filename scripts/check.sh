@@ -51,6 +51,44 @@ if fit in ("N^2", "N^3"):
              % fit)
 PY
 
+echo "== tier-1: cluster hot-path guard =="
+# The typed-event serving loop must stay near-linear and meaningfully
+# ahead of the retired closure loop: the fast family's complexity fit has
+# to come out at N log N or better, and the measured speedup over the
+# reference at 65536 requests must hold >= 2x (the recorded full-run
+# numbers in BENCH_deploy.json sit much higher; 2x keeps the quick
+# min_time=0.01 fit from flaking on a loaded box).
+CLUSTER_GUARD_JSON="${BENCH_BUILD_DIR:-build-bench}/cluster_guard.json"
+"${BENCH_BUILD_DIR:-build-bench}/bench/bench_micro_cluster" \
+  --benchmark_min_time=0.01 \
+  --benchmark_format=json 2>/dev/null > "${CLUSTER_GUARD_JSON}"
+python3 - "${CLUSTER_GUARD_JSON}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+fits, times = {}, {}
+for b in doc.get("benchmarks", []):
+    if b.get("aggregate_name") == "BigO":
+        fits[b["name"]] = b.get("big_o")
+    elif "real_time" in b:
+        times[b["name"]] = b["real_time"]
+fit = fits.get("BM_ClusterRun_BigO")
+if fit is None:
+    sys.exit("cluster guard: no complexity fit emitted for BM_ClusterRun")
+print("BM_ClusterRun BigO fit: %s" % fit)
+if fit in ("N^2", "N^3"):
+    sys.exit("cluster guard: serving loop regressed to %s "
+             "(want <= N log N)" % fit)
+fast = times.get("BM_ClusterRun/65536")
+ref = times.get("BM_ClusterRunReference/65536")
+if not fast or not ref:
+    sys.exit("cluster guard: missing 65536-request timings")
+speedup = ref / fast
+print("BM_ClusterRun speedup at 65536: %.2fx vs closure reference" % speedup)
+if speedup < 2.0:
+    sys.exit("cluster guard: typed loop only %.2fx faster than the "
+             "closure reference at 65536 (want >= 2x)" % speedup)
+PY
+
 echo "== tier-1: obs smoke =="
 # End-to-end observability: run a faulted chironctl with the embedded obs
 # endpoint + flight recorder, scrape /healthz + /metrics over HTTP, and
@@ -104,7 +142,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
   echo "== tsan: concurrency-sensitive subset =="
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs|Sweep'
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs|Sweep|Cluster'
 fi
 
 echo "== check.sh: all green =="

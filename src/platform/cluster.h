@@ -149,6 +149,12 @@ class ClusterSimulator {
   /// (one-to-one: the workflow's stage count; wrap plans: 1).
   ClusterResult run(const Backend& backend, std::size_t cascading_stages) const;
 
+  /// run() through the retired closure-based serving loop (see
+  /// run_prepared_reference). Exists for parity tests and the
+  /// fast-vs-reference benches; new code should call run().
+  ClusterResult run_reference(const Backend& backend,
+                              std::size_t cascading_stages) const;
+
   /// Scenario-sweep engine: runs every spec under every seed (spec-major
   /// order) and fans the specs.size() * seeds.size() independent runs
   /// across `pool` via ThreadPool::map. Each run gets its own
@@ -162,14 +168,33 @@ class ClusterSimulator {
       const std::vector<std::uint64_t>& seeds, const RuntimeParams& params,
       ThreadPool* pool = nullptr);
 
- private:
   /// Simulation core shared by run() and run_batch(): consumes
   /// pre-generated arrival times and a pre-minted request-id block, so
-  /// batch runs can mint deterministically before fanning out.
-  ClusterResult run_impl(const Backend& backend, std::size_t cascading_stages,
-                         const std::vector<TimeMs>& arrival_times,
-                         std::uint64_t id_base) const;
+  /// batch runs can mint deterministically before fanning out (and parity
+  /// tests can drive both loops over byte-identical inputs — which is why
+  /// the prepared pair is public).
+  ///
+  /// This is the typed-event hot path: a switch-dispatched POD event
+  /// stream over a slab-backed TypedEventQueue. Steady-state simulation
+  /// performs zero heap allocations per request — arrivals, request
+  /// states, the event slab, the waiting-queue ring, and the warm-pool
+  /// ring are all reserved up front.
+  ClusterResult run_prepared(const Backend& backend,
+                             std::size_t cascading_stages,
+                             const std::vector<TimeMs>& arrival_times,
+                             std::uint64_t id_base) const;
 
+  /// The retired per-request-closure serving loop, kept verbatim as the
+  /// parity oracle (the run_slow_reference pattern of the interleave
+  /// kernels): ClusterParityTest asserts it produces bit-identical
+  /// ClusterResults to run_prepared across randomized configs, and
+  /// bench_micro_cluster measures the fast loop's speedup against it.
+  ClusterResult run_prepared_reference(const Backend& backend,
+                                       std::size_t cascading_stages,
+                                       const std::vector<TimeMs>& arrival_times,
+                                       std::uint64_t id_base) const;
+
+ private:
   ClusterConfig config_;
   RuntimeParams params_;
 };

@@ -28,8 +28,12 @@ bool EventQueue::cancel(Handle handle) {
 
 TimeMs EventQueue::run() {
   while (!heap_.empty()) {
-    // Copy out before pop: the callback may schedule new events.
-    Entry entry = heap_.top();
+    // Move out before pop (the callback may schedule new events): top()
+    // only exposes a const ref, but relocating the std::function out of
+    // the heap is safe — the comparator orders on (at, seq), which the
+    // move leaves intact — and saves a closure copy (and its heap
+    // allocation) per event.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     if (cancelled_.erase(entry.seq) > 0) continue;
     pending_.erase(entry.seq);
@@ -41,7 +45,7 @@ TimeMs EventQueue::run() {
 
 TimeMs EventQueue::run_until(TimeMs horizon) {
   while (!heap_.empty() && heap_.top().at <= horizon) {
-    Entry entry = heap_.top();
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     if (cancelled_.erase(entry.seq) > 0) continue;
     pending_.erase(entry.seq);

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "support/alloc_counter.h"
 
 namespace chiron {
 namespace {
@@ -131,6 +136,243 @@ TEST(EventQueueTest, RunUntilSkipsCancelledTail) {
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(q.pending(), 0u);
   EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, RunMovesCallbacksOutOfTheHeap) {
+  // Regression: run()/run_until() used to copy the Entry (and its
+  // std::function) out of heap_.top() before popping — one closure copy,
+  // and typically one heap allocation, per event. They must move instead.
+  struct CopyCounting {
+    std::shared_ptr<std::atomic<int>> copies;
+    std::shared_ptr<std::atomic<int>> fired;
+    CopyCounting(std::shared_ptr<std::atomic<int>> c,
+                 std::shared_ptr<std::atomic<int>> f)
+        : copies(std::move(c)), fired(std::move(f)) {}
+    CopyCounting(const CopyCounting& other)
+        : copies(other.copies), fired(other.fired) {
+      ++*copies;
+    }
+    CopyCounting(CopyCounting&&) = default;
+    void operator()() const { ++*fired; }
+  };
+  auto copies = std::make_shared<std::atomic<int>>(0);
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  EventQueue q;
+  q.schedule(1.0, CopyCounting(copies, fired));
+  q.schedule(2.0, CopyCounting(copies, fired));
+  const int after_schedule = copies->load();
+  q.run_until(1.5);
+  q.run();
+  EXPECT_EQ(fired->load(), 2);
+  EXPECT_EQ(copies->load(), after_schedule);  // moved, never copied
+}
+
+// --- TypedEventQueue: the slab-backed serving-loop mode ---------------------
+
+using TypedQueue = TypedEventQueue<int>;
+
+TEST(TypedEventQueueTest, PopsInTimeOrderWithFifoTies) {
+  TypedQueue q;
+  q.schedule(3.0, 30);
+  q.schedule(1.0, 10);
+  q.schedule(2.0, 20);
+  q.schedule(2.0, 21);  // same instant: FIFO by schedule order
+  std::vector<int> order;
+  TimeMs at = 0.0;
+  int ev = 0;
+  while (q.pop(&at, &ev)) order.push_back(ev);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 21, 30}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(TypedEventQueueTest, RejectsPastEvents) {
+  TypedQueue q;
+  q.schedule(5.0, 1);
+  TimeMs at = 0.0;
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_THROW(q.schedule(1.0, 2), std::invalid_argument);
+}
+
+TEST(TypedEventQueueTest, CancelledEventNeverPops) {
+  TypedQueue q;
+  const auto h = q.schedule(2.0, 2);
+  q.schedule(1.0, 1);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.cancel(h));  // idempotent
+  TimeMs at = 0.0;
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_EQ(ev, 1);
+  EXPECT_FALSE(q.pop(&at, &ev));
+  // The cancelled tombstone does not advance time past the live events.
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(TypedEventQueueTest, CancelRejectsPoppedAndUnknownHandles) {
+  TypedQueue q;
+  const auto ran = q.schedule(1.0, 1);
+  TimeMs at = 0.0;
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_FALSE(q.cancel(ran));  // already popped
+  EXPECT_FALSE(q.cancel(TypedQueue::Handle{42, 0}));  // never scheduled
+}
+
+TEST(TypedEventQueueTest, SlotReuseInvalidatesStaleHandles) {
+  // Generation counters: cancelling frees the slot; a later schedule may
+  // reuse it, and the old handle must not be able to cancel the new event.
+  TypedQueue q;
+  const auto old = q.schedule(1.0, 1);
+  ASSERT_TRUE(q.cancel(old));
+  const auto fresh = q.schedule(2.0, 2);
+  EXPECT_EQ(fresh.slot, old.slot);  // the free list reused the slot
+  EXPECT_NE(fresh.generation, old.generation);
+  EXPECT_FALSE(q.cancel(old));  // stale handle rejected
+  TimeMs at = 0.0;
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_EQ(ev, 2);  // the fresh event survived
+}
+
+TEST(TypedEventQueueTest, HandlersCanScheduleWhilePopping) {
+  // The serving-loop pattern: a popped event's handler schedules
+  // follow-ups (possibly reusing the just-released slot).
+  TypedQueue q;
+  q.schedule(1.0, 0);
+  int hops = 0;
+  TimeMs at = 0.0;
+  int ev = 0;
+  while (q.pop(&at, &ev)) {
+    ++hops;
+    if (ev < 2) q.schedule_in(1.0, ev + 1);
+  }
+  EXPECT_EQ(hops, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(TypedEventQueueTest, MatchesLegacyQueueOrderUnderCancellation) {
+  // Both flavours promise the same (time, seq) FIFO order — drive them
+  // with an identical schedule/cancel script and compare pop sequences.
+  const std::vector<std::pair<TimeMs, int>> script = {
+      {5.0, 0}, {1.0, 1}, {5.0, 2}, {3.0, 3}, {5.0, 4}, {2.0, 5}};
+  const std::vector<std::size_t> to_cancel = {2, 5};
+
+  std::vector<int> legacy_order;
+  EventQueue legacy;
+  std::vector<EventQueue::Handle> legacy_handles;
+  for (const auto& [at, tag] : script) {
+    legacy_handles.push_back(
+        legacy.schedule(at, [&legacy_order, t = tag] {
+          legacy_order.push_back(t);
+        }));
+  }
+  for (std::size_t i : to_cancel) legacy.cancel(legacy_handles[i]);
+  legacy.run();
+
+  std::vector<int> typed_order;
+  TypedQueue typed;
+  std::vector<TypedQueue::Handle> typed_handles;
+  for (const auto& [at, tag] : script) {
+    typed_handles.push_back(typed.schedule(at, tag));
+  }
+  for (std::size_t i : to_cancel) typed.cancel(typed_handles[i]);
+  TimeMs at = 0.0;
+  int ev = 0;
+  while (typed.pop(&at, &ev)) typed_order.push_back(ev);
+
+  EXPECT_EQ(typed_order, legacy_order);
+  EXPECT_DOUBLE_EQ(typed.now(), legacy.now());
+}
+
+TEST(TypedEventQueueTest, ReservedQueueSchedulesWithoutAllocating) {
+  if (!testsupport::alloc_counting_supported()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  TypedQueue q;
+  q.reserve(64, 128);
+  std::vector<int> popped;
+  popped.reserve(32);  // sized before arming: the loop itself must be clean
+  testsupport::ScopedAllocCounter counter;
+  TimeMs at = 0.0;
+  int ev = 0;
+  for (int round = 0; round < 32; ++round) {
+    q.schedule(static_cast<TimeMs>(round) + 1.0, round);
+    const auto drop = q.schedule(static_cast<TimeMs>(round) + 2.0, -round);
+    q.cancel(drop);
+    if (q.pop(&at, &ev)) popped.push_back(ev);
+  }
+  const std::uint64_t allocs = counter.count();
+  EXPECT_EQ(allocs, 0u)
+      << "schedule/cancel/pop must not allocate within the reservation";
+  ASSERT_EQ(popped.size(), 32u);
+  for (int round = 0; round < 32; ++round) EXPECT_EQ(popped[round], round);
+}
+
+TEST(TypedEventQueueTest, PeekReportsNextLiveEventWithoutPopping) {
+  TypedQueue q;
+  TimeMs at = 0.0;
+  std::uint64_t seq = 0;
+  EXPECT_FALSE(q.peek(&at));
+
+  const auto first = q.schedule(5.0, 1);
+  q.schedule(9.0, 2);
+  ASSERT_TRUE(q.peek(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 5.0);
+  EXPECT_EQ(seq, 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // peek never advances time
+  EXPECT_EQ(q.pending(), 2u);
+
+  // Cancelling the front leaves a stale heap top; peek prunes past it.
+  EXPECT_TRUE(q.cancel(first));
+  ASSERT_TRUE(q.peek(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 9.0);
+  EXPECT_EQ(seq, 1u);
+
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_EQ(ev, 2);
+  EXPECT_FALSE(q.peek(&at));
+}
+
+TEST(TypedEventQueueTest, AdvanceToMovesTimeForwardOnly) {
+  TypedQueue q;
+  q.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+  q.advance_to(4.0);  // never backwards
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+  // The no-past-events guard tracks the advanced clock.
+  EXPECT_THROW(q.schedule(9.0, 1), std::invalid_argument);
+  q.schedule(10.0, 1);
+  TimeMs at = 0.0;
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_DOUBLE_EQ(at, 10.0);
+}
+
+TEST(TypedEventQueueTest, MintedSeqsOrderSideStreamTies) {
+  // A driver keeping events outside the heap mints seqs at the points the
+  // reference would have scheduled them; schedule_with_seq lets heap
+  // events carry those stamps so same-time ties resolve in mint order.
+  TypedQueue q;
+  const std::uint64_t side_seq = q.mint_seq();    // an external event
+  const std::uint64_t heap_seq = q.mint_seq();    // a later heap event
+  q.schedule_with_seq(5.0, 2, heap_seq);
+  TimeMs at = 0.0;
+  std::uint64_t top_seq = 0;
+  ASSERT_TRUE(q.peek(&at, &top_seq));
+  // The side event at the same time outranks the heap top.
+  EXPECT_LT(side_seq, top_seq);
+  // And a plain schedule() keeps minting after the reserved stamps.
+  q.schedule(5.0, 3);
+  int ev = 0;
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_EQ(ev, 2);  // seq 1 pops before seq 2 at the same time
+  ASSERT_TRUE(q.pop(&at, &ev));
+  EXPECT_EQ(ev, 3);
 }
 
 }  // namespace
