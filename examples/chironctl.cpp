@@ -7,6 +7,7 @@
 //                          [--trace out.json] [--trace-limit N] [--metrics]
 //                          [--faults SPEC] [--retry N] [--timeout-ms T]
 //                          [--rps R] [--sweep N]
+//                          [--nodes N] [--router POLICY]
 //                          [--serve-obs PORT] [--obs-linger-ms MS]
 //                          [--recorder] [--recorder-capacity N]
 //                          [--recorder-dump PATH]
@@ -30,6 +31,13 @@
 //   --faults cold=0.05,crash=0.02@0.5,straggler=0.1x4,transfer=0.05,seed=7
 // --retry sets max attempts per request (default 3 under faults) and
 // --timeout-ms arms a per-request deadline; both apply to that fault run.
+//
+// --nodes shards the simulated cluster into N nodes, each with its own
+// capacity, warm pool, and queue; --router picks the placement policy
+// (round_robin|random|least_outstanding|power_of_two|warm_affinity).
+// Both apply to the fault run and to every --sweep scenario. One node
+// (the default) reproduces the pooled model exactly. A `node=P` key in
+// --faults arms whole-node crashes (sharded runs only).
 //
 // --sweep N scores the deployed plan under N traffic scenarios at once:
 // offered load is spread 0.5x..2x around --rps, each scenario is run
@@ -110,6 +118,8 @@ int main(int argc, char** argv) {
   int retry_attempts = 0;      // 0 = default (3 when faults are armed)
   TimeMs timeout_ms = 0.0;     // 0 = no per-request deadline
   double offered_rps = 50.0;
+  std::size_t cluster_nodes = 1;
+  RouterPolicy router_policy = RouterPolicy::kRoundRobin;
   std::size_t sweep_n = 0;     // scenarios for --sweep (0 = off)
   bool fault_run = false;      // any of --faults/--retry/--timeout-ms
   bool serve_obs = false;
@@ -147,6 +157,19 @@ int main(int argc, char** argv) {
       offered_rps = std::stod(argv[++i]);
     } else if (arg == "--sweep" && i + 1 < argc) {
       sweep_n = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      cluster_nodes = static_cast<std::size_t>(std::stoul(argv[++i]));
+      if (cluster_nodes == 0) {
+        std::cerr << "--nodes must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--router" && i + 1 < argc) {
+      try {
+        router_policy = parse_router_policy(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "router error: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--serve-obs" && i + 1 < argc) {
       serve_obs = true;
       obs_port = std::stoi(argv[++i]);
@@ -166,7 +189,7 @@ int main(int argc, char** argv) {
                arg == "--trace" || arg == "--deploy-threads" ||
                arg == "--faults" || arg == "--retry" ||
                arg == "--timeout-ms" || arg == "--rps" ||
-               arg == "--sweep" ||
+               arg == "--sweep" || arg == "--nodes" || arg == "--router" ||
                arg == "--serve-obs" || arg == "--obs-linger-ms" ||
                arg == "--recorder-capacity" || arg == "--recorder-dump" ||
                arg == "--trace-limit") {
@@ -289,6 +312,8 @@ int main(int argc, char** argv) {
       }
     }
     ClusterConfig cluster;
+    cluster.nodes = cluster_nodes;
+    cluster.router = router_policy;
     cluster.offered_rps = offered_rps;
     cluster.faults = faults;
     cluster.retry.max_attempts = retry_attempts > 0 ? retry_attempts : 3;
@@ -306,7 +331,9 @@ int main(int argc, char** argv) {
               << cluster.retry.max_attempts << ", timeout "
               << (timeout_ms > 0.0 ? format_fixed(timeout_ms, 0) + " ms"
                                    : std::string("off"))
-              << ", " << format_fixed(offered_rps, 0) << " rps)\n";
+              << ", " << format_fixed(offered_rps, 0) << " rps, "
+              << cluster_nodes << " node" << (cluster_nodes == 1 ? "" : "s")
+              << ", router " << to_string(router_policy) << ")\n";
     Table outcome({"offered", "completed", "failed", "retried", "timed_out",
                    "dropped", "p95_ms"});
     outcome.row()
@@ -360,6 +387,8 @@ int main(int argc, char** argv) {
                        : 0.5 + 1.5 * static_cast<double>(s) /
                                  static_cast<double>(sweep_n - 1);
       ScenarioSpec spec;
+      spec.config.nodes = cluster_nodes;
+      spec.config.router = router_policy;
       spec.config.offered_rps = offered_rps * factor;
       spec.config.faults = faults;
       if (fault_run) {

@@ -34,7 +34,8 @@ echo "== bench: configure + build Release (${BENCH_BUILD_DIR}) =="
 cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BENCH_BUILD_DIR}" -j "${JOBS}" \
   --target bench_micro_pgp bench_micro_predictor bench_micro_fault \
-           bench_micro_obs bench_micro_sweep bench_micro_cluster
+           bench_micro_obs bench_micro_sweep bench_micro_cluster \
+           bench_micro_router
 
 if [[ "${SMOKE}" == "1" ]]; then
   # One tiny repetition per suite: proves the binaries run and produce
@@ -58,6 +59,9 @@ if [[ "${SMOKE}" == "1" ]]; then
   "${BENCH_BUILD_DIR}/bench/bench_micro_cluster" \
     --benchmark_filter='BM_ClusterRun/1024$' --benchmark_min_time=0.01 \
     --benchmark_format=json >/dev/null
+  "${BENCH_BUILD_DIR}/bench/bench_micro_router" \
+    --benchmark_filter='BM_RouterPolicy/warm_affinity$' \
+    --benchmark_min_time=0.01 --benchmark_format=json >/dev/null
   echo "== bench: smoke OK =="
   exit 0
 fi
@@ -68,6 +72,7 @@ FAULT_JSON="${BENCH_BUILD_DIR}/micro_fault.json"
 OBS_JSON="${BENCH_BUILD_DIR}/micro_obs.json"
 SWEEP_JSON="${BENCH_BUILD_DIR}/micro_sweep.json"
 CLUSTER_JSON="${BENCH_BUILD_DIR}/micro_cluster.json"
+ROUTER_JSON="${BENCH_BUILD_DIR}/micro_router.json"
 
 echo "== bench: micro_pgp =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_pgp" \
@@ -93,13 +98,17 @@ echo "== bench: micro_cluster =="
 "${BENCH_BUILD_DIR}/bench/bench_micro_cluster" \
   --benchmark_format=json --benchmark_out="${CLUSTER_JSON}" \
   --benchmark_out_format=json
+echo "== bench: micro_router =="
+"${BENCH_BUILD_DIR}/bench/bench_micro_router" \
+  --benchmark_format=json --benchmark_out="${ROUTER_JSON}" \
+  --benchmark_out_format=json
 
 python3 - "$PGP_JSON" "$PRED_JSON" "$FAULT_JSON" "$OBS_JSON" "$SWEEP_JSON" \
-  "$CLUSTER_JSON" "$BASELINE" <<'PY'
+  "$CLUSTER_JSON" "$ROUTER_JSON" "$BASELINE" <<'PY'
 import json, sys
 
 (pgp_path, pred_path, fault_path, obs_path, sweep_path, cluster_path,
- baseline_path) = sys.argv[1:8]
+ router_path, baseline_path) = sys.argv[1:9]
 out = {
     "bench": "deploy",
     "build_type": "Release",
@@ -109,6 +118,7 @@ out = {
     "micro_obs": json.load(open(obs_path)),
     "micro_sweep": json.load(open(sweep_path)),
     "micro_cluster": json.load(open(cluster_path)),
+    "micro_router": json.load(open(router_path)),
 }
 
 # Surface the benchmark library's own build type: timings taken against a
@@ -171,6 +181,28 @@ if fast64 and ref64:
           % (cluster["fast"]["big_o"] if cluster["fast"] else "?",
              cluster["speedup_at_65536"]))
 out["cluster_hotpath"] = cluster
+
+# Router-policy comparison on the skewed 8-node burst scenario: cold
+# starts and p95 per placement policy. check.sh guards warm_affinity
+# beating random on cold starts (locality must pay for itself).
+policies = {}
+for b in out["micro_router"].get("benchmarks", []):
+    name = b.get("name", "")
+    if not name.startswith("BM_RouterPolicy/"):
+        continue
+    policies[name.split("/", 1)[1]] = {
+        "cold_starts": b.get("cold_starts"),
+        "p95_ms": b.get("p95_ms"),
+        "completed": b.get("completed"),
+        "run_ms": b.get("real_time"),
+    }
+out["router_policies"] = policies
+for policy in ("warm_affinity", "least_outstanding", "power_of_two",
+               "round_robin", "random"):
+    entry = policies.get(policy)
+    if entry:
+        print("router %-17s: %4d cold starts, p95 %6.1f ms"
+              % (policy, entry["cold_starts"], entry["p95_ms"]))
 
 # Surface the recorder-overhead acceptance datapoint directly: the
 # recorder-on cluster run must stay within 5% of recorder-off.

@@ -89,6 +89,31 @@ if speedup < 2.0:
              "closure reference at 65536 (want >= 2x)" % speedup)
 PY
 
+echo "== tier-1: router policy guard =="
+# Placement must pay for itself: on the skewed 8-node burst scenario the
+# warm-affinity router has to land well under random's cold-start count
+# (full-run numbers in BENCH_deploy.json show ~25x; 2x keeps the quick
+# pass honest without flaking). The counters are deterministic per seed,
+# so min_time can stay tiny.
+ROUTER_GUARD_JSON="${BENCH_BUILD_DIR:-build-bench}/router_guard.json"
+"${BENCH_BUILD_DIR:-build-bench}/bench/bench_micro_router" \
+  --benchmark_min_time=0.01 \
+  --benchmark_format=json 2>/dev/null > "${ROUTER_GUARD_JSON}"
+python3 - "${ROUTER_GUARD_JSON}" <<'PY'
+import json, sys
+cold = {b["name"].split("/", 1)[1]: b.get("cold_starts")
+        for b in json.load(open(sys.argv[1])).get("benchmarks", [])
+        if b.get("name", "").startswith("BM_RouterPolicy/")}
+warm, rand = cold.get("warm_affinity"), cold.get("random")
+if warm is None or rand is None:
+    sys.exit("router guard: missing warm_affinity/random cold-start counters")
+print("router guard: warm_affinity %d cold starts vs random %d"
+      % (warm, rand))
+if warm * 2 >= rand:
+    sys.exit("router guard: warm_affinity (%d cold starts) no longer "
+             "beats random (%d) by 2x on the burst scenario" % (warm, rand))
+PY
+
 echo "== tier-1: obs smoke =="
 # End-to-end observability: run a faulted chironctl with the embedded obs
 # endpoint + flight recorder, scrape /healthz + /metrics over HTTP, and
@@ -142,7 +167,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
   echo "== tsan: concurrency-sensitive subset =="
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs|Sweep|Cluster'
+    -R 'Engine|LocalRunner|EmulatedGil|Gil|Tracer|Counter|Gauge|Histogram|MetricsRegistry|Instrumentation|ThreadPool|PredictionCache|PgpParity|Fault|Obs|Sweep|Cluster|Router'
 fi
 
 echo "== check.sh: all green =="

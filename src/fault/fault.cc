@@ -27,6 +27,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kTransfer: return "transfer";
     case FaultKind::kRetryJitter: return "retry_jitter";
+    case FaultKind::kNodeCrash: return "node_crash";
   }
   return "unknown";
 }
@@ -109,6 +110,8 @@ FaultSpec parse_fault_spec(const std::string& text) {
       spec.straggler = parse_prob(key, value);
     } else if (key == "transfer") {
       spec.transfer_error = parse_prob(key, value);
+    } else if (key == "node") {
+      spec.node_crash = parse_prob(key, value);
     } else if (key == "seed") {
       try {
         spec.seed = std::stoull(value);
@@ -143,6 +146,10 @@ std::string to_string(const FaultSpec& spec) {
   if (spec.transfer_error > 0.0) {
     sep();
     out << "transfer=" << spec.transfer_error;
+  }
+  if (spec.node_crash > 0.0) {
+    sep();
+    out << "node=" << spec.node_crash;
   }
   sep();
   out << "seed=" << spec.seed;

@@ -40,13 +40,18 @@ struct FaultSpec {
   /// Latency added by the transparent storage-level retry of one
   /// transient transfer error.
   TimeMs transfer_retry_ms = 10.0;
+  /// P(a whole node crashes once during the run) — sharded cluster runs
+  /// only. A crashing node fails its in-flight attempts, drains its warm
+  /// pool, and sends its queued requests back through the router; the
+  /// node itself restarts immediately (cold).
+  double node_crash = 0.0;
   /// Seed of the decision stream (independent of every other Rng).
   std::uint64_t seed = 0xFA017;
 
   /// True when any fault kind can fire.
   bool enabled() const {
     return cold_start_failure > 0.0 || crash > 0.0 || straggler > 0.0 ||
-           transfer_error > 0.0;
+           transfer_error > 0.0 || node_crash > 0.0;
   }
 };
 
@@ -71,12 +76,16 @@ struct RetryPolicy {
 
 /// The fault kinds the injector can decide on. kRetryJitter is not a
 /// fault: it names the decision stream backoff jitter draws from.
+/// kNodeCrash must stay appended after kRetryJitter: the kind's integer
+/// value feeds the decision hash, so inserting earlier would silently
+/// reshuffle every seeded jitter draw.
 enum class FaultKind : std::uint8_t {
   kColdStart,
   kCrash,
   kStraggler,
   kTransfer,
   kRetryJitter,
+  kNodeCrash,
 };
 
 /// Human-readable kind name ("cold_start", "crash", ...).
@@ -122,6 +131,17 @@ class FaultInjector {
     return spec_.transfer_error > 0.0 &&
            roll(FaultKind::kTransfer, entity, attempt) < spec_.transfer_error;
   }
+  /// Whether node `node` crashes at all during the run (at most once).
+  bool node_crashes(std::uint64_t node) const {
+    return spec_.node_crash > 0.0 &&
+           roll(FaultKind::kNodeCrash, node, 1) < spec_.node_crash;
+  }
+  /// Fraction of the horizon at which node `node`'s crash lands, in
+  /// [0, 1) — a second decision cell so it is independent of whether the
+  /// crash fires.
+  double node_crash_frac(std::uint64_t node) const {
+    return roll(FaultKind::kNodeCrash, node, 2);
+  }
 
   /// Backoff before re-attempting `entity` after its `attempt`-th try
   /// failed, jittered from this injector's decision stream.
@@ -133,9 +153,9 @@ class FaultInjector {
 };
 
 /// Parses a compact operator-facing spec, e.g.
-///   "cold=0.1,crash=0.05,straggler=0.2x4,transfer=0.1,seed=7"
+///   "cold=0.1,crash=0.05,straggler=0.2x4,transfer=0.1,node=0.2,seed=7"
 /// Keys: cold, crash (optional "@frac" crash point, e.g. crash=0.1@0.3),
-/// straggler (optional "xMULT"), transfer, seed. Throws
+/// straggler (optional "xMULT"), transfer, node, seed. Throws
 /// std::invalid_argument on malformed input.
 FaultSpec parse_fault_spec(const std::string& text);
 

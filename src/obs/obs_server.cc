@@ -1,5 +1,6 @@
 #include "obs/obs_server.h"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
@@ -153,6 +154,7 @@ void ObsServer::serve_loop() {
     while (head.find("\r\n") == std::string::npos &&
            head.size() < 16 * 1024) {
       const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;  // signal: retry the read
       if (n <= 0) break;
       head.append(buf, static_cast<std::size_t>(n));
     }
@@ -171,12 +173,17 @@ void ObsServer::serve_loop() {
       }
     }
     if (config_.metrics) config_.metrics->counter("chiron.obs.scrapes").inc();
+    // Loop until the full response is flushed: send() on a loopback
+    // socket regularly returns short writes for multi-megabyte
+    // /metrics.json and /recorder payloads, and a stray signal must not
+    // truncate the body mid-flight.
     const std::string wire = render(response);
     std::size_t sent = 0;
     while (sent < wire.size()) {
       const ssize_t n =
           ::send(conn, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) break;
+      if (n < 0 && errno == EINTR) continue;  // signal: retry the write
+      if (n <= 0) break;                      // peer gone: give up
       sent += static_cast<std::size_t>(n);
     }
     ::close(conn);

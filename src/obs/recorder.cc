@@ -34,6 +34,7 @@ const char* to_string(RecKind kind) {
     case RecKind::kSloBreach: return "slo.breach";
     case RecKind::kReplan: return "replan";
     case RecKind::kMark: return "mark";
+    case RecKind::kNodeCrash: return "node_crash";
   }
   return "?";
 }
@@ -88,7 +89,7 @@ FlightRecorder::Stripe& FlightRecorder::stripe_for_current_thread() {
 
 void FlightRecorder::record(RecKind kind, std::uint64_t request,
                             std::uint32_t attempt, double ts_ms,
-                            double value) {
+                            double value, std::int32_t node) {
   if (!enabled()) return;
   RecorderEvent ev;
   ev.ts_ms = ts_ms;
@@ -96,6 +97,7 @@ void FlightRecorder::record(RecKind kind, std::uint64_t request,
   ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   ev.request = request;
   ev.attempt = attempt;
+  ev.node = node;
   ev.kind = kind;
   Stripe& s = stripe_for_current_thread();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -163,6 +165,9 @@ json::Value event_to_json(const RecorderEvent& ev) {
   }
   if (ev.attempt != 0) {
     o["attempt"] = json::Value(static_cast<double>(ev.attempt));
+  }
+  if (ev.node >= 0) {
+    o["node"] = json::Value(static_cast<double>(ev.node));
   }
   o["value"] = json::Value(ev.value);
   return json::Value(std::move(o));
@@ -277,10 +282,11 @@ void signal_dump_handler(int signo) {
         n = std::snprintf(
             line, sizeof(line),
             "{\"ts_ms\": %.3f, \"seq\": %llu, \"kind\": \"%s\", "
-            "\"request\": %llu, \"attempt\": %u, \"value\": %.6g}\n",
+            "\"request\": %llu, \"attempt\": %u, \"node\": %d, "
+            "\"value\": %.6g}\n",
             ev.ts_ms, static_cast<unsigned long long>(ev.seq),
             to_string(ev.kind), static_cast<unsigned long long>(ev.request),
-            ev.attempt, ev.value);
+            ev.attempt, ev.node, ev.value);
         if (n > 0) (void)!::write(fd, line, static_cast<std::size_t>(n));
       }
     }

@@ -52,6 +52,9 @@ enum class RecKind : std::uint8_t {
   kSloBreach,       ///< SloMonitor violation observed; value = p95 ms
   kReplan,          ///< degradation replan issued; value = inflation
   kMark,            ///< free-form marker (examples, tests)
+  kNodeCrash,       ///< node crashed (node-scoped: value = victims, or
+                    ///< request-scoped: one per failed in-flight attempt).
+                    ///< Appended last so earlier kinds keep their values.
 };
 
 /// Stable short name ("admit", "complete", "fault.crash", ...).
@@ -64,6 +67,7 @@ struct RecorderEvent {
   std::uint64_t seq = 0;     ///< global record order (sort key)
   std::uint64_t request = 0; ///< request/trace id; 0 = not request-scoped
   std::uint32_t attempt = 0; ///< 1-based attempt, or task index; 0 = n/a
+  std::int32_t node = -1;    ///< cluster node id; -1 = not node-scoped
   RecKind kind = RecKind::kMark;
 };
 
@@ -97,9 +101,11 @@ class FlightRecorder {
 
   /// Records one event. `ts_ms` is caller-supplied so virtual-time
   /// simulators can stamp simulated clocks; wall-clock callers pass
-  /// now_ms(). Oldest events are overwritten when a stripe is full.
+  /// now_ms(). `node` tags events from sharded cluster runs with the
+  /// serving node id (-1 = not node-scoped). Oldest events are
+  /// overwritten when a stripe is full.
   void record(RecKind kind, std::uint64_t request, std::uint32_t attempt,
-              double ts_ms, double value = 0.0);
+              double ts_ms, double value = 0.0, std::int32_t node = -1);
 
   /// Wall-clock milliseconds since this recorder's epoch (steady clock).
   double now_ms() const;

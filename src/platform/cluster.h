@@ -17,6 +17,7 @@
 #include "fault/fault.h"
 #include "metrics/stats.h"
 #include "platform/backend.h"
+#include "platform/router.h"
 #include "runtime/params.h"
 #include "workflow/arrivals.h"
 
@@ -33,6 +34,10 @@ class FlightRecorder;
 /// Cluster and load configuration.
 struct ClusterConfig {
   std::size_t nodes = 1;
+  /// How the sharded serving loop places each dispatch across nodes.
+  /// Irrelevant at nodes == 1 (every policy picks node 0 without touching
+  /// its Rng, so single-node runs are policy-independent bit-for-bit).
+  RouterPolicy router = RouterPolicy::kRoundRobin;
   /// Idle instances are reclaimed after this long.
   TimeMs keep_alive_ms = 10000.0;
   /// Simulated duration.
@@ -70,6 +75,19 @@ struct ClusterConfig {
   obs::FlightRecorder* recorder = nullptr;
 };
 
+/// Per-node slice of a sharded run. The pooled loops report a single
+/// entry covering the whole pool, so a one-node sharded run and a pooled
+/// run compare equal field-for-field.
+struct NodeResult {
+  std::size_t routed = 0;       ///< dispatches placed on this node
+  std::size_t completed = 0;    ///< requests that finished here
+  std::size_t cold_starts = 0;  ///< instances launched here
+  std::size_t node_crashes = 0; ///< NodeCrash faults that hit this node
+  std::size_t peak_queue = 0;   ///< max depth of this node's queue
+
+  friend bool operator==(const NodeResult&, const NodeResult&) = default;
+};
+
 /// Outcome of one closed-loop run. Every offered request reaches exactly
 /// one terminal state: offered == completed + timed_out + dropped.
 struct ClusterResult {
@@ -87,7 +105,8 @@ struct ClusterResult {
   TimeMs p99_ms = 0.0;
   double mean_busy_instances = 0.0;  ///< time-averaged busy instances
   std::size_t peak_instances = 0;    ///< max live (busy + warm) instances
-  std::size_t peak_queue = 0;        ///< max queued requests
+  std::size_t peak_queue = 0;        ///< max queued requests (cluster-wide)
+  std::size_t node_crashes = 0;      ///< NodeCrash faults fired this run
   /// First trace/request id of this run: arrival i carries id
   /// request_id_base + i in the recorder and tracer (0 when no run
   /// happened). Fault decisions still hash the arrival *index*, so ids
@@ -97,6 +116,9 @@ struct ClusterResult {
   /// as mean/p50/p95/p99, fed in completion order. run_batch merges these
   /// across seeds via RunningStats::merge.
   RunningStats latency_stats;
+  /// Per-node breakdown: one entry per node in the sharded loop; exactly
+  /// one pool-wide entry from the pooled loops.
+  std::vector<NodeResult> node_results;
 
   /// Exact (bitwise) equality over every field — the sweep determinism
   /// tests assert per-seed results are identical across pool sizes.
@@ -172,22 +194,36 @@ class ClusterSimulator {
   /// pre-generated arrival times and a pre-minted request-id block, so
   /// batch runs can mint deterministically before fanning out (and parity
   /// tests can drive both loops over byte-identical inputs — which is why
-  /// the prepared pair is public).
+  /// the prepared family is public).
   ///
-  /// This is the typed-event hot path: a switch-dispatched POD event
-  /// stream over a slab-backed TypedEventQueue. Steady-state simulation
-  /// performs zero heap allocations per request — arrivals, request
-  /// states, the event slab, the waiting-queue ring, and the warm-pool
-  /// ring are all reserved up front.
+  /// This is the *sharded* typed-event hot path: every node owns its own
+  /// capacity, warm-instance ring, and waiting queue, and each dispatch
+  /// is placed by the configured Router policy. It remains a
+  /// switch-dispatched POD event stream over a slab-backed
+  /// TypedEventQueue with zero steady-state heap allocations per request.
+  /// At nodes == 1 it is bit-identical to run_prepared_pooled (asserted
+  /// by ClusterParityTest), which anchors it to the closure-loop oracle.
   ClusterResult run_prepared(const Backend& backend,
                              std::size_t cascading_stages,
                              const std::vector<TimeMs>& arrival_times,
                              std::uint64_t id_base) const;
 
+  /// The pre-sharding typed loop: pools every node's resources into one
+  /// cluster-wide capacity with a single warm pool and queue (so
+  /// config.nodes only scales the capacity, and config.router /
+  /// faults.node_crash are ignored). Kept as the nodes=1-equivalent
+  /// reference anchoring the sharded loop to the original oracle chain:
+  /// ClusterParityTest asserts pooled == closure reference on randomized
+  /// configs and sharded(nodes=1) == pooled, exactly.
+  ClusterResult run_prepared_pooled(const Backend& backend,
+                                    std::size_t cascading_stages,
+                                    const std::vector<TimeMs>& arrival_times,
+                                    std::uint64_t id_base) const;
+
   /// The retired per-request-closure serving loop, kept verbatim as the
   /// parity oracle (the run_slow_reference pattern of the interleave
   /// kernels): ClusterParityTest asserts it produces bit-identical
-  /// ClusterResults to run_prepared across randomized configs, and
+  /// ClusterResults to run_prepared_pooled across randomized configs, and
   /// bench_micro_cluster measures the fast loop's speedup against it.
   ClusterResult run_prepared_reference(const Backend& backend,
                                        std::size_t cascading_stages,

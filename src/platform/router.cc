@@ -1,0 +1,86 @@
+#include "platform/router.h"
+
+#include <stdexcept>
+
+namespace chiron {
+
+const char* to_string(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "round_robin";
+    case RouterPolicy::kRandom: return "random";
+    case RouterPolicy::kLeastOutstanding: return "least_outstanding";
+    case RouterPolicy::kPowerOfTwo: return "power_of_two";
+    case RouterPolicy::kWarmAffinity: return "warm_affinity";
+  }
+  return "unknown";
+}
+
+RouterPolicy parse_router_policy(const std::string& text) {
+  std::string name = text;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  if (name == "round_robin" || name == "rr") return RouterPolicy::kRoundRobin;
+  if (name == "random") return RouterPolicy::kRandom;
+  if (name == "least_outstanding" || name == "least") {
+    return RouterPolicy::kLeastOutstanding;
+  }
+  if (name == "power_of_two" || name == "p2c") return RouterPolicy::kPowerOfTwo;
+  if (name == "warm_affinity" || name == "warm") {
+    return RouterPolicy::kWarmAffinity;
+  }
+  throw std::invalid_argument(
+      "unknown router policy '" + text +
+      "' (round_robin|random|least_outstanding|power_of_two|warm_affinity)");
+}
+
+namespace {
+
+/// Node with the fewest outstanding attempts; ties go to the lowest id so
+/// the choice is deterministic and stable under equal load.
+std::uint32_t least_outstanding(const RouterNodeView* views, std::uint32_t n) {
+  std::uint32_t best = 0;
+  for (std::uint32_t k = 1; k < n; ++k) {
+    if (views[k].outstanding < views[best].outstanding) best = k;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t Router::pick(const RouterNodeView* views, std::uint32_t n) {
+  if (n <= 1) return 0;
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin: {
+      const std::uint32_t k = rr_next_;
+      rr_next_ = (rr_next_ + 1 == n) ? 0 : rr_next_ + 1;
+      return k;
+    }
+    case RouterPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng_.below(n));
+    case RouterPolicy::kLeastOutstanding:
+      return least_outstanding(views, n);
+    case RouterPolicy::kPowerOfTwo: {
+      // Two independent draws (possibly equal — the classic formulation),
+      // keep the less loaded; ties keep the first draw.
+      const std::uint32_t a = static_cast<std::uint32_t>(rng_.below(n));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng_.below(n));
+      return views[b].outstanding < views[a].outstanding ? b : a;
+    }
+    case RouterPolicy::kWarmAffinity: {
+      // Prefer the node holding the most warm instances (ties: lowest id)
+      // so bursts land where sandboxes are already resident; with no warm
+      // capacity anywhere, fall back to least-outstanding.
+      std::uint32_t best = n;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        if (views[k].warm == 0) continue;
+        if (best == n || views[k].warm > views[best].warm) best = k;
+      }
+      if (best != n) return best;
+      return least_outstanding(views, n);
+    }
+  }
+  return 0;
+}
+
+}  // namespace chiron

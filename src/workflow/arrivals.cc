@@ -23,7 +23,12 @@ std::vector<TimeMs> ArrivalGenerator::generate(TimeMs horizon_ms) {
       break;
     }
     case ArrivalKind::kUniform: {
-      for (TimeMs t = mean_gap; t < horizon_ms; t += mean_gap) {
+      // Index-based generation: the old `t += mean_gap` accumulator
+      // drifted by one ulp per step, so long horizons undercounted the
+      // offered load versus rate * horizon.
+      for (std::size_t i = 0;; ++i) {
+        const TimeMs t = mean_gap * static_cast<TimeMs>(i + 1);
+        if (t >= horizon_ms) break;
         arrivals.push_back(t);
       }
       break;

@@ -165,6 +165,38 @@ TEST(FaultKindTest, NamesAreStable) {
   EXPECT_STREQ(to_string(FaultKind::kCrash), "crash");
   EXPECT_STREQ(to_string(FaultKind::kStraggler), "straggler");
   EXPECT_STREQ(to_string(FaultKind::kTransfer), "transfer");
+  EXPECT_STREQ(to_string(FaultKind::kNodeCrash), "node_crash");
+}
+
+TEST(FaultSpecTest, NodeCrashParsesEnablesAndRoundTrips) {
+  const FaultSpec spec = parse_fault_spec("node=0.2,seed=11");
+  EXPECT_DOUBLE_EQ(spec.node_crash, 0.2);
+  EXPECT_TRUE(spec.enabled());
+  const FaultSpec again = parse_fault_spec(to_string(spec));
+  EXPECT_DOUBLE_EQ(again.node_crash, 0.2);
+  EXPECT_EQ(again.seed, 11u);
+  EXPECT_THROW(parse_fault_spec("node=1.5"), std::invalid_argument);
+
+  // Certain crash: every node's decision fires, and its seeded crash
+  // fraction lands inside the run.
+  const FaultInjector injector(spec);
+  FaultSpec certain = spec;
+  certain.node_crash = 1.0;
+  const FaultInjector always(certain);
+  for (std::uint64_t node = 0; node < 16; ++node) {
+    EXPECT_TRUE(always.node_crashes(node));
+    const double frac = always.node_crash_frac(node);
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+  }
+  // At 0.2 some nodes crash and some don't, deterministically per seed.
+  int fired = 0;
+  for (std::uint64_t node = 0; node < 64; ++node) {
+    if (injector.node_crashes(node)) ++fired;
+    EXPECT_EQ(injector.node_crashes(node), injector.node_crashes(node));
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
 }
 
 }  // namespace

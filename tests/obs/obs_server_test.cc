@@ -147,6 +147,38 @@ TEST(ObsServerTest, ServesHttpOverLoopback) {
   EXPECT_TRUE(http_get(server.port(), "/healthz").empty());
 }
 
+TEST(ObsServerTest, LargeRecorderPayloadRoundTripsIntact) {
+  // Regression: send() on loopback returns short writes for multi-MB
+  // bodies; a serve loop that fired send() once truncated the JSON
+  // mid-flight. Fill the recorder until /recorder weighs megabytes and
+  // assert the body parses and carries every event.
+  // All events come from this one thread, i.e. one stripe: size the
+  // recorder so that stripe alone holds the full 100k.
+  FlightRecorder recorder(FlightRecorder::kStripes * 100000);
+  recorder.set_enabled(true);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    recorder.record(RecKind::kMark, i + 1, 1,
+                    static_cast<double>(i) * 0.001, 42.0,
+                    static_cast<std::int32_t>(i % 8));
+  }
+
+  ObsServerConfig config;
+  config.recorder = &recorder;
+  ObsServer server(config);
+  ASSERT_TRUE(server.start());
+
+  const std::string raw = http_get(server.port(), "/recorder");
+  const std::string body = body_of(raw);
+  EXPECT_GT(body.size(), 2u * 1024u * 1024u);  // genuinely multi-MB
+  // Content-Length must match what actually arrived.
+  const std::size_t cl = raw.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoull(raw.substr(cl + 16)), body.size());
+  const json::Value doc = json::parse(body);
+  EXPECT_EQ(doc.at("events").as_array().size(), 100000u);
+  server.stop();
+}
+
 TEST(ObsServerTest, ConcurrentScrapesWhileWritersHammerSinks) {
   // The TSan-relevant case: scrapes serialize registry/recorder snapshots
   // while writer threads mutate them.

@@ -84,6 +84,50 @@ std::pair<std::uint64_t, std::size_t> count_run(double offered_rps) {
   return {allocs, result.offered};
 }
 
+/// Same counting harness over the sharded loop with real routing: four
+/// nodes under the warm-affinity policy (the policy that reads every
+/// router view field). The per-node rings and the router views are part
+/// of the up-front reservation, so the steady-state claim is unchanged.
+std::pair<std::uint64_t, std::size_t> count_sharded_run(double offered_rps) {
+  ClusterConfig config = churn_config(offered_rps);
+  config.nodes = 4;
+  config.router = RouterPolicy::kWarmAffinity;
+  const PodBackend backend(35.0);
+  const RuntimeParams params = RuntimeParams::defaults();
+  Rng rng(config.seed);
+  ArrivalGenerator gen(config.arrivals, config.offered_rps, rng.split());
+  const std::vector<TimeMs> arrivals = gen.generate(config.horizon_ms);
+  const ClusterSimulator sim(config, params);
+
+  testsupport::ScopedAllocCounter counter;
+  const ClusterResult result = sim.run_prepared(backend, 1, arrivals, 1);
+  const std::uint64_t allocs = counter.count();
+
+  EXPECT_EQ(result.offered, result.completed + result.timed_out +
+                                result.dropped);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.failed, 0u);
+  EXPECT_EQ(result.node_results.size(), 4u);
+  return {allocs, result.offered};
+}
+
+TEST(ClusterAllocationTest, ShardedLoopAllocationsDoNotScaleWithRequests) {
+  if (!testsupport::alloc_counting_supported()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  const auto [small_allocs, small_offered] = count_sharded_run(400.0);
+  const auto [big_allocs, big_offered] = count_sharded_run(1600.0);
+  ASSERT_GT(big_offered, small_offered + 8000u);
+
+  // Setup reserves a few more buffers than the pooled loop (per-node
+  // rings, router views, per-node sinks) — still a small constant.
+  EXPECT_LT(small_allocs, 96u);
+  EXPECT_LE(big_allocs, small_allocs + 8u)
+      << "serving " << (big_offered - small_offered)
+      << " more requests allocated " << (big_allocs - small_allocs)
+      << " more times: the sharded hot path is no longer allocation-free";
+}
+
 TEST(ClusterAllocationTest, TypedLoopAllocationsDoNotScaleWithRequests) {
   if (!testsupport::alloc_counting_supported()) {
     GTEST_SKIP() << "allocation counting disabled under sanitizers";

@@ -1,10 +1,12 @@
-// Fast-vs-reference parity for the serving loop: the typed-event hot path
-// (ClusterSimulator::run_prepared) must produce bit-identical
+// Parity oracle chain for the serving loops: the pooled typed-event loop
+// (ClusterSimulator::run_prepared_pooled) must produce bit-identical
 // ClusterResults to the retired closure-based loop
 // (run_prepared_reference) — same (time, seq) FIFO event order means the
 // same RNG draw sequence and the same float arithmetic, so equality is
 // exact, not approximate (the run_slow_reference pattern the interleave
-// kernels established).
+// kernels established). The sharded hot path (run_prepared) is in turn
+// bit-identical to the pooled loop at nodes == 1, whatever the router
+// policy, which anchors the per-node refactor to the original oracle.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -118,7 +120,7 @@ TEST(ClusterParityTest, FastLoopIsBitIdenticalAcrossRandomizedConfigs) {
 
     const ClusterSimulator sim(config, params);
     const ClusterResult fast =
-        sim.run_prepared(backend, stages, arrivals, id_base);
+        sim.run_prepared_pooled(backend, stages, arrivals, id_base);
     const ClusterResult reference =
         sim.run_prepared_reference(backend, stages, arrivals, id_base);
     EXPECT_EQ(fast, reference);  // exact: every field, bitwise
@@ -130,6 +132,51 @@ TEST(ClusterParityTest, FastLoopIsBitIdenticalAcrossRandomizedConfigs) {
     if (fast.offered > 0) ++nonempty;
   }
   EXPECT_GT(nonempty, 50);  // the sweep actually exercised the loop
+}
+
+TEST(ClusterParityTest, ShardedSingleNodeIsBitIdenticalToPooled) {
+  // The sharded loop with one node must be the pooled model, exactly:
+  // same schedule() sequence, same Rng draws, same float arithmetic. The
+  // router policy must not matter — at n == 1 every policy returns node 0
+  // without touching its (separately split) Rng stream.
+  const SystemOptions opts = quiet_options();
+  const Workflow wf = make_slapp();
+  const auto system_backend = make_system("Faastlane", wf, opts);
+  const RuntimeParams& params = opts.params;
+  ResourceUsage fat;
+  fat.cpus = static_cast<double>(params.node_cpus) / 2.0;
+  fat.memory_mb = params.node_memory_mb / 2.0;
+  const PodBackend tiny_capacity(45.0, fat);
+  const PodBackend zero_capacity(10.0, ResourceUsage{});
+  const Backend* backends[] = {system_backend.get(), &tiny_capacity,
+                               &zero_capacity};
+  const RouterPolicy policies[] = {
+      RouterPolicy::kRoundRobin, RouterPolicy::kRandom,
+      RouterPolicy::kLeastOutstanding, RouterPolicy::kPowerOfTwo,
+      RouterPolicy::kWarmAffinity};
+
+  Rng meta(0x0DDC0DE);
+  int nonempty = 0;
+  for (int i = 0; i < 40; ++i) {
+    SCOPED_TRACE("randomized case " + std::to_string(i));
+    ClusterConfig config = random_config(meta, 0xBEEF00 + i);
+    config.nodes = 1;  // the sharded loop must degenerate to the pool
+    config.router = policies[i % 5];
+    const Backend& backend = *backends[i % 3];
+    const std::size_t stages = 1 + (i % 3);
+    const std::vector<TimeMs> arrivals = arrivals_for(config);
+    const std::uint64_t id_base = 5000 + static_cast<std::uint64_t>(i);
+
+    const ClusterSimulator sim(config, params);
+    const ClusterResult sharded =
+        sim.run_prepared(backend, stages, arrivals, id_base);
+    const ClusterResult pooled =
+        sim.run_prepared_pooled(backend, stages, arrivals, id_base);
+    EXPECT_EQ(sharded, pooled);  // exact: every field, bitwise
+    ASSERT_EQ(sharded.node_results.size(), 1u);
+    if (sharded.offered > 0) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 35);  // the sweep actually exercised the loop
 }
 
 TEST(ClusterParityTest, MetricsAgreeBetweenLoops) {
@@ -158,8 +205,9 @@ TEST(ClusterParityTest, MetricsAgreeBetweenLoops) {
   ClusterConfig ref_config = config;
   ref_config.metrics = &ref_metrics;
 
-  const ClusterResult fast = ClusterSimulator(fast_config, opts.params)
-                                 .run_prepared(*backend, 1, arrivals, 7);
+  const ClusterResult fast =
+      ClusterSimulator(fast_config, opts.params)
+          .run_prepared_pooled(*backend, 1, arrivals, 7);
   const ClusterResult reference =
       ClusterSimulator(ref_config, opts.params)
           .run_prepared_reference(*backend, 1, arrivals, 7);

@@ -268,6 +268,166 @@ TEST(ClusterTest, ZeroResourceDeploymentStillServes) {
   EXPECT_EQ(r.completed, r.offered);
 }
 
+TEST(ClusterTest, CapacityFloorIsExactOnEvenDivisions) {
+  // Regression: node_cpus = 3 with usage 0.3 divides to
+  // 9.999999999999998 in doubles; a plain floor silently dropped the
+  // tenth instance. The epsilon floor recovers it without ever rounding
+  // a genuinely fractional ratio up.
+  RuntimeParams params = RuntimeParams::defaults();
+  params.node_cpus = 3;
+  ResourceUsage usage;
+  usage.cpus = 0.3;
+  usage.memory_mb = 0.0;
+  const FixedLatencyBackend backend(50.0, usage);
+  ClusterConfig config;
+  config.nodes = 1;
+  config.offered_rps = 600.0;  // force scale-out to the cap
+  config.horizon_ms = 2000.0;
+  config.keep_alive_ms = 60000.0;
+  ClusterSimulator sim(config, params);
+  EXPECT_EQ(sim.run(backend, 1).peak_instances, 10u);
+}
+
+// --- sharded routing --------------------------------------------------------
+
+/// Skewed-load scenario for the router policies: bursts land in lockstep
+/// while the keep-alive barely outlives one burst gap, so placement
+/// decides whether instances stay warm between bursts (the
+/// bench_micro_router scenario, pinned here behaviorally).
+ClusterConfig bursty_router_config(RouterPolicy policy) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.router = policy;
+  config.arrivals = ArrivalKind::kBurst;
+  config.offered_rps = 60.0;   // bursts of 10 every ~167 ms
+  config.keep_alive_ms = 250.0;
+  config.horizon_ms = 20000.0;
+  config.seed = 42;
+  return config;
+}
+
+TEST(ClusterTest, RoundRobinSpreadsArrivalsEvenly) {
+  const RuntimeParams params = RuntimeParams::defaults();
+  ResourceUsage usage;
+  usage.cpus = static_cast<double>(params.node_cpus) / 4.0;
+  const FixedLatencyBackend backend(30.0, usage);
+  ClusterConfig config;
+  config.nodes = 4;
+  config.offered_rps = 50.0;
+  config.horizon_ms = 10000.0;
+  ClusterSimulator sim(config, params);
+  const ClusterResult r = sim.run(backend, 1);
+  ASSERT_EQ(r.node_results.size(), 4u);
+  std::size_t routed_sum = 0, min_routed = r.offered, max_routed = 0;
+  for (const NodeResult& node : r.node_results) {
+    routed_sum += node.routed;
+    min_routed = std::min(min_routed, node.routed);
+    max_routed = std::max(max_routed, node.routed);
+  }
+  // Healthy run: one dispatch per request, cycled node by node.
+  EXPECT_EQ(routed_sum, r.offered);
+  EXPECT_LE(max_routed - min_routed, 1u);
+  EXPECT_EQ(r.completed, r.offered);
+}
+
+TEST(ClusterTest, WarmAffinityBeatsRandomOnColdStarts) {
+  // The ICPS-style argument: sending requests where a warm instance
+  // already sits pays the cold start once; oblivious spreading re-pays
+  // it every time the keep-alive lapses between hits on a node.
+  const RuntimeParams params = RuntimeParams::defaults();
+  ResourceUsage usage;
+  usage.cpus = static_cast<double>(params.node_cpus) / 4.0;
+  const FixedLatencyBackend backend(30.0, usage);
+  ClusterSimulator warm(bursty_router_config(RouterPolicy::kWarmAffinity),
+                        params);
+  ClusterSimulator random(bursty_router_config(RouterPolicy::kRandom),
+                          params);
+  const ClusterResult warm_r = warm.run(backend, 1);
+  const ClusterResult random_r = random.run(backend, 1);
+  ASSERT_GT(warm_r.offered, 500u);
+  EXPECT_EQ(warm_r.completed, warm_r.offered);
+  EXPECT_LT(warm_r.cold_starts * 2, random_r.cold_starts)
+      << "warm-affinity should at least halve random's cold starts";
+}
+
+TEST(ClusterTest, PerNodeMetricsSumToClusterTotals) {
+  const RuntimeParams params = RuntimeParams::defaults();
+  ResourceUsage usage;
+  usage.cpus = static_cast<double>(params.node_cpus) / 4.0;
+  const FixedLatencyBackend backend(30.0, usage);
+  obs::MetricsRegistry metrics;
+  ClusterConfig config = bursty_router_config(RouterPolicy::kPowerOfTwo);
+  config.nodes = 3;
+  config.metrics = &metrics;
+  ClusterSimulator sim(config, params);
+  const ClusterResult r = sim.run(backend, 1);
+  ASSERT_EQ(r.node_results.size(), 3u);
+  std::int64_t exported = 0;
+  std::size_t per_node = 0, completed = 0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::string name =
+        "cluster.node." + std::to_string(k) + ".cold_starts";
+    EXPECT_EQ(metrics.counter(name).value(),
+              static_cast<std::int64_t>(r.node_results[k].cold_starts))
+        << name;
+    exported += metrics.counter(name).value();
+    per_node += r.node_results[k].cold_starts;
+    completed += r.node_results[k].completed;
+  }
+  EXPECT_EQ(exported, static_cast<std::int64_t>(r.cold_starts));
+  EXPECT_EQ(per_node, r.cold_starts);
+  EXPECT_EQ(completed, r.completed);
+}
+
+TEST(ClusterFaultTest, NodeCrashFailsInFlightAndDrainsWarmPool) {
+  // node_crash = 1.0: every node crashes exactly once at a seeded point
+  // in the run. Victims fail (and retry), the node's warm pool drains,
+  // and its queue re-routes — but conservation must still hold and the
+  // victims must be accounted under their own fault kind.
+  const RuntimeParams params = RuntimeParams::defaults();
+  ResourceUsage usage;
+  usage.cpus = static_cast<double>(params.node_cpus) / 2.0;  // 2 per node
+  const FixedLatencyBackend backend(60.0, usage);
+  obs::MetricsRegistry metrics;
+  ClusterConfig config;
+  config.nodes = 4;
+  config.offered_rps = 120.0;  // keeps instances busy so crashes hit work
+  config.horizon_ms = 8000.0;
+  config.faults.node_crash = 1.0;
+  config.faults.seed = 7;
+  config.retry.max_attempts = 3;
+  config.metrics = &metrics;
+  ClusterSimulator sim(config, params);
+  const ClusterResult r = sim.run(backend, 1);
+
+  EXPECT_EQ(r.node_crashes, 4u);
+  ASSERT_EQ(r.node_results.size(), 4u);
+  std::size_t crashes = 0;
+  for (const NodeResult& node : r.node_results) crashes += node.node_crashes;
+  EXPECT_EQ(crashes, r.node_crashes);
+  // Victims exist (the fleet is saturated) and each one is a `failed`
+  // attempt counted under the node_crash kind — no bleed into the
+  // attempt-level crash counter.
+  const std::int64_t victims =
+      metrics.counter("chiron.fault.injected.node_crash").value();
+  EXPECT_GT(victims, 0);
+  EXPECT_EQ(victims, static_cast<std::int64_t>(r.failed));
+  EXPECT_EQ(metrics.counter("chiron.fault.injected.crash").value(), 0);
+  // Conservation: no timeout armed, retries re-dispatch, so every
+  // request still terminates.
+  EXPECT_EQ(r.offered, r.completed + r.timed_out + r.dropped);
+  EXPECT_GT(r.completed, 0u);
+  // And the healthy twin is untouched by the fault plumbing.
+  ClusterConfig healthy = config;
+  healthy.faults.node_crash = 0.0;
+  healthy.metrics = nullptr;
+  const ClusterResult h = ClusterSimulator(healthy, params).run(backend, 1);
+  EXPECT_EQ(h.node_crashes, 0u);
+  EXPECT_EQ(h.failed, 0u);
+  EXPECT_GE(r.cold_starts, h.cold_starts)
+      << "drained warm pools must be rebuilt with fresh cold starts";
+}
+
 // --- fault injection, retry, timeout ---------------------------------------
 
 ClusterConfig faulty_config() {

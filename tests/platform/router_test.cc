@@ -1,0 +1,120 @@
+// Unit tests for the sharded-cluster Router: policy semantics over
+// hand-built node views, determinism of the seeded random policies, and
+// the name round-trip used by chironctl --router.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "platform/router.h"
+
+namespace chiron {
+namespace {
+
+std::vector<RouterNodeView> views(std::initializer_list<RouterNodeView> v) {
+  return std::vector<RouterNodeView>(v);
+}
+
+TEST(RouterTest, SingleNodeAlwaysPicksZeroWithoutTouchingTheRng) {
+  // The parity guarantee hinges on this: at n == 1 every policy returns 0
+  // and leaves its Rng stream untouched, so two routers seeded alike stay
+  // in lockstep however many single-node picks happen in between.
+  for (RouterPolicy policy :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kRandom,
+        RouterPolicy::kLeastOutstanding, RouterPolicy::kPowerOfTwo,
+        RouterPolicy::kWarmAffinity}) {
+    SCOPED_TRACE(to_string(policy));
+    Router single(policy, 1, Rng(7));
+    Router fresh(policy, 4, Rng(7));
+    Router stale(policy, 4, Rng(7));
+    const auto v1 = views({{}});
+    const auto v4 = views({{}, {}, {}, {}});
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(single.pick(v1.data(), 1), 0u);
+    // `stale` burns 10 single-node picks first; both must then agree on
+    // every multi-node pick.
+    for (int i = 0; i < 10; ++i) (void)stale.pick(v4.data(), 1);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(fresh.pick(v4.data(), 4), stale.pick(v4.data(), 4));
+    }
+  }
+}
+
+TEST(RouterTest, RoundRobinCycles) {
+  Router router(RouterPolicy::kRoundRobin, 3, Rng(1));
+  const auto v = views({{}, {}, {}});
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(router.pick(v.data(), 3), i % 3);
+  }
+}
+
+TEST(RouterTest, RandomIsSeededAndInRange) {
+  Router a(RouterPolicy::kRandom, 5, Rng(99));
+  Router b(RouterPolicy::kRandom, 5, Rng(99));
+  const auto v = views({{}, {}, {}, {}, {}});
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t pick = a.pick(v.data(), 5);
+    EXPECT_EQ(pick, b.pick(v.data(), 5));  // same seed, same stream
+    ASSERT_LT(pick, 5u);
+    ++hits[pick];
+  }
+  for (int k = 0; k < 5; ++k) EXPECT_GT(hits[k], 0) << "node " << k;
+}
+
+TEST(RouterTest, LeastOutstandingPicksArgminLowestIdOnTies) {
+  Router router(RouterPolicy::kLeastOutstanding, 4, Rng(1));
+  const auto loaded = views({{5, 0}, {2, 0}, {7, 0}, {2, 0}});
+  EXPECT_EQ(router.pick(loaded.data(), 4), 1u);  // 2 ties at 1 and 3
+  const auto idle = views({{0, 0}, {0, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(router.pick(idle.data(), 4), 0u);
+}
+
+TEST(RouterTest, PowerOfTwoNeverPicksTheMoreLoadedCandidate) {
+  Router router(RouterPolicy::kPowerOfTwo, 4, Rng(3));
+  // Node 2 carries all the load: P2C may pick any of the others (its two
+  // candidates are random) but must never prefer node 2 — except when
+  // both draws land on it.
+  const auto v = views({{1, 0}, {1, 0}, {50, 0}, {1, 0}});
+  int picked_loaded = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (router.pick(v.data(), 4) == 2u) ++picked_loaded;
+  }
+  // P(both draws hit node 2) = 1/16: ~25 of 400. Allow slack.
+  EXPECT_LT(picked_loaded, 60);
+}
+
+TEST(RouterTest, WarmAffinityPrefersWarmNodesThenFallsBack) {
+  Router router(RouterPolicy::kWarmAffinity, 4, Rng(5));
+  // Most warm instances wins, regardless of load.
+  const auto warm = views({{0, 1}, {9, 3}, {0, 2}, {0, 0}});
+  EXPECT_EQ(router.pick(warm.data(), 4), 1u);
+  // Warm ties break toward the lowest id.
+  const auto tied = views({{0, 0}, {1, 2}, {0, 2}, {0, 0}});
+  EXPECT_EQ(router.pick(tied.data(), 4), 1u);
+  // No warm instance anywhere: degrade to least-outstanding.
+  const auto cold = views({{4, 0}, {2, 0}, {9, 0}, {3, 0}});
+  EXPECT_EQ(router.pick(cold.data(), 4), 1u);
+}
+
+TEST(RouterTest, PolicyNamesRoundTrip) {
+  for (RouterPolicy policy :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kRandom,
+        RouterPolicy::kLeastOutstanding, RouterPolicy::kPowerOfTwo,
+        RouterPolicy::kWarmAffinity}) {
+    EXPECT_EQ(parse_router_policy(to_string(policy)), policy);
+  }
+  // chironctl-friendly spellings.
+  EXPECT_EQ(parse_router_policy("power-of-two"), RouterPolicy::kPowerOfTwo);
+  EXPECT_EQ(parse_router_policy("p2c"), RouterPolicy::kPowerOfTwo);
+  EXPECT_EQ(parse_router_policy("rr"), RouterPolicy::kRoundRobin);
+  EXPECT_EQ(parse_router_policy("warm"), RouterPolicy::kWarmAffinity);
+  EXPECT_EQ(parse_router_policy("least"), RouterPolicy::kLeastOutstanding);
+  EXPECT_THROW(parse_router_policy("fastest"), std::invalid_argument);
+  EXPECT_THROW(parse_router_policy(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chiron

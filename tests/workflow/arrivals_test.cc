@@ -40,6 +40,36 @@ TEST(ArrivalsTest, UniformIsEvenlySpaced) {
   }
 }
 
+TEST(ArrivalsTest, UniformCountIsExactOverLongHorizons) {
+  // Regression: the accumulator form `t += mean_gap` drifted by an ulp
+  // per step, so 100 s at 100 rps came up a request short of the offered
+  // load. Index-based generation pins the count and the spacing exactly.
+  const double rate = 100.0;
+  const TimeMs horizon = 100000.0;  // 100 s
+  ArrivalGenerator gen(ArrivalKind::kUniform, rate, Rng(6));
+  const auto arrivals = gen.generate(horizon);
+  // t = mean_gap * (i + 1) for every t < horizon: 10, 20, ..., 99990.
+  EXPECT_EQ(arrivals.size(), 9999u);
+  const TimeMs mean_gap = 1000.0 / rate;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    ASSERT_EQ(arrivals[i], mean_gap * static_cast<TimeMs>(i + 1)) << i;
+  }
+}
+
+TEST(ArrivalsTest, BurstRealizedRateTracksOfferedAtHighRates) {
+  // 10000 rps means the 0.1 ms intra-burst spacing equals the mean gap:
+  // the generator must still emit a sorted stream whose realized rate is
+  // within tolerance of the offered rate.
+  const double rate = 10000.0;
+  const TimeMs horizon = 5000.0;  // 5 s
+  ArrivalGenerator gen(ArrivalKind::kBurst, rate, Rng(7));
+  const auto arrivals = gen.generate(horizon);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  const double realized =
+      static_cast<double>(arrivals.size()) / (horizon / 1000.0);
+  EXPECT_NEAR(realized, rate, 0.05 * rate);
+}
+
 TEST(ArrivalsTest, BurstsClump) {
   ArrivalGenerator gen(ArrivalKind::kBurst, 100.0, Rng(5));
   const auto arrivals = gen.generate(10000.0);
