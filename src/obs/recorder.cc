@@ -81,7 +81,19 @@ double FlightRecorder::now_ms() const {
       .count();
 }
 
+namespace {
+// -1 = unbound (hash placement); otherwise the bound stripe index.
+thread_local std::ptrdiff_t t_stripe_hint = -1;
+}  // namespace
+
+void FlightRecorder::bind_thread_stripe(std::size_t index) {
+  t_stripe_hint = static_cast<std::ptrdiff_t>(index % kStripes);
+}
+
 FlightRecorder::Stripe& FlightRecorder::stripe_for_current_thread() {
+  if (t_stripe_hint >= 0) {
+    return stripes_[static_cast<std::size_t>(t_stripe_hint)];
+  }
   const std::size_t h =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
   return stripes_[h % kStripes];
@@ -150,6 +162,13 @@ std::vector<RecorderEvent> FlightRecorder::timeline(
   for (const RecorderEvent& ev : all) {
     if (ev.request == request) out.push_back(ev);
   }
+  // Causal order: simulated/wall time first, record order for ties.
+  // Concurrent writers take seqs in wall-clock race order, so seq alone
+  // is not a causal key across threads — ts_ms is.
+  std::sort(out.begin(), out.end(),
+            [](const RecorderEvent& a, const RecorderEvent& b) {
+              return a.ts_ms != b.ts_ms ? a.ts_ms < b.ts_ms : a.seq < b.seq;
+            });
   return out;
 }
 

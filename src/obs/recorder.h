@@ -107,6 +107,15 @@ class FlightRecorder {
   void record(RecKind kind, std::uint64_t request, std::uint32_t attempt,
               double ts_ms, double value = 0.0, std::int32_t node = -1);
 
+  /// Pins the calling thread to stripe `index % kStripes` for every
+  /// subsequent record() (process-wide: the hint applies to all
+  /// recorders). Long-lived workers — e.g. the windowed cluster engine's
+  /// window workers — bind distinct indices so each worker owns one
+  /// stripe: no two workers contend on a stripe lock, and per-worker
+  /// write order is preserved within its stripe. Unbound threads keep
+  /// the thread-id-hash placement.
+  static void bind_thread_stripe(std::size_t index);
+
   /// Wall-clock milliseconds since this recorder's epoch (steady clock).
   double now_ms() const;
 
@@ -116,7 +125,11 @@ class FlightRecorder {
   /// All retained events in global record order (seq-sorted).
   std::vector<RecorderEvent> snapshot() const;
 
-  /// The retained events of one request, in order — its causal timeline.
+  /// The retained events of one request, sorted by (ts_ms, seq) — its
+  /// causal timeline. The timestamp is the primary key so timelines from
+  /// concurrent writers (whose global seq order interleaves arbitrarily
+  /// across simulated time) still read in causal order; seq breaks
+  /// same-timestamp ties in record order.
   std::vector<RecorderEvent> timeline(std::uint64_t request) const;
 
   /// {"events": [...], "recorded": N, "dropped": N, "capacity": N}.

@@ -15,101 +15,22 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "platform/cluster_internal.h"
 #include "sim/event_queue.h"
 
 namespace chiron {
+
+// The POD event, the ring, and the capacity arithmetic live in
+// cluster_internal.h now, shared verbatim with the windowed parallel
+// engine (cluster_parallel.cc).
+using cluster_detail::ClusterEvent;
+using cluster_detail::ClusterEventQueue;
+using cluster_detail::Ring;
+using cluster_detail::fault_rec_kind;
+using cluster_detail::floor_capacity;
+using cluster_detail::node_capacity;
+
 namespace {
-
-/// Recorder event kind for an injected fault.
-obs::RecKind fault_rec_kind(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kColdStart: return obs::RecKind::kFaultColdStart;
-    case FaultKind::kCrash: return obs::RecKind::kFaultCrash;
-    case FaultKind::kStraggler: return obs::RecKind::kFaultStraggler;
-    case FaultKind::kNodeCrash: return obs::RecKind::kNodeCrash;
-    default: return obs::RecKind::kFaultTransfer;
-  }
-}
-
-/// The serving loop's typed POD event: the whole per-request state machine
-/// dispatches on {kind, request id} — no per-event closures. For
-/// kNodeCrash, `id` is the node index, not a request.
-struct ClusterEvent {
-  enum class Kind : std::uint8_t {
-    kArrival,
-    kTimeout,
-    kCompletion,
-    kCrash,
-    kRetry,
-    kNodeCrash,
-  };
-  Kind kind = Kind::kArrival;
-  std::uint32_t id = 0;
-};
-
-using ClusterEventQueue = TypedEventQueue<ClusterEvent>;
-
-/// Power-of-two ring buffer with push_back / pop_front / pop_back. The
-/// serving loop's waiting queue and warm pool need deque semantics with
-/// zero steady-state allocations, which std::deque's block allocator
-/// cannot promise; reserve() up front makes every later operation
-/// allocation-free as long as the live size stays within the reservation
-/// (growth past it is correct, just no longer allocation-free).
-template <typename T>
-class Ring {
- public:
-  void reserve(std::size_t n) {
-    std::size_t cap = 8;
-    while (cap < n + 1) cap <<= 1;
-    if (cap > buf_.size()) rebuild(cap);
-  }
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
-  const T& front() const { return buf_[head_ & (buf_.size() - 1)]; }
-  void push_back(const T& value) {
-    if (size_ == buf_.size()) {
-      rebuild(buf_.empty() ? std::size_t{8} : buf_.size() * 2);
-    }
-    buf_[(head_ + size_) & (buf_.size() - 1)] = value;
-    ++size_;
-  }
-  /// Pops and returns the newest element (LIFO end).
-  T pop_back() {
-    --size_;
-    return buf_[(head_ + size_) & (buf_.size() - 1)];
-  }
-  /// Pops and returns the oldest element (FIFO end).
-  T pop_front() {
-    const T value = buf_[head_ & (buf_.size() - 1)];
-    ++head_;
-    --size_;
-    return value;
-  }
-
- private:
-  void rebuild(std::size_t cap) {
-    std::vector<T> next(cap);
-    for (std::size_t i = 0; i < size_; ++i) {
-      next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
-    }
-    buf_ = std::move(next);
-    head_ = 0;
-  }
-
-  std::vector<T> buf_;
-  std::size_t head_ = 0;  ///< monotonically increasing; masked on access
-  std::size_t size_ = 0;
-};
-
-/// Floors a fractional instance count with a relative epsilon: a resource
-/// ratio that lands an ulp below an exact integer (40 / (40/3.0) =
-/// 9.999999999999998) must count as that integer, not one less. The
-/// epsilon is far too small to ever round a genuinely fractional ratio
-/// up.
-std::size_t floor_capacity(double capacity) {
-  if (!std::isfinite(capacity)) return 0;
-  return static_cast<std::size_t>(capacity * (1.0 + 1e-9));
-}
 
 /// Instances the cluster can host with every node's resources pooled into
 /// one cluster-wide pot (the pre-sharding model, kept as the pooled
@@ -127,22 +48,6 @@ std::size_t cluster_capacity(const ResourceUsage& usage,
   if (usage.cpus > 0.0) capacity = std::min(capacity, total_cpus / usage.cpus);
   if (usage.memory_mb > 0.0) {
     capacity = std::min(capacity, total_mem / usage.memory_mb);
-  }
-  return std::max<std::size_t>(1, floor_capacity(capacity));
-}
-
-/// Instances ONE node can host — the sharded loop's per-node capacity.
-/// At config.nodes == 1 this is float-identical to cluster_capacity:
-/// both numerators multiply by exactly 1, so the divisions and the
-/// epsilon floor agree bit-for-bit (the parity anchor).
-std::size_t node_capacity(const ResourceUsage& usage,
-                          const RuntimeParams& params) {
-  const double node_cpus = static_cast<double>(params.node_cpus);
-  const double node_mem = params.node_memory_mb;
-  double capacity = std::numeric_limits<double>::infinity();
-  if (usage.cpus > 0.0) capacity = std::min(capacity, node_cpus / usage.cpus);
-  if (usage.memory_mb > 0.0) {
-    capacity = std::min(capacity, node_mem / usage.memory_mb);
   }
   return std::max<std::size_t>(1, floor_capacity(capacity));
 }
@@ -202,6 +107,18 @@ ClusterResult ClusterSimulator::run_prepared(
     const std::vector<TimeMs>& arrival_times, std::uint64_t id_base) const {
   const std::uint32_t node_count =
       static_cast<std::uint32_t>(std::max<std::size_t>(1, config_.nodes));
+  if (node_count > 1) {
+    // Multi-node runs execute on the windowed conservative-PDES engine
+    // (cluster_parallel.cc): per-node event shards advancing in time
+    // windows, cross-node retries and crash drains delivered at window
+    // barriers. Its sim_threads == 1 schedule IS the sequential
+    // semantics; higher thread counts replay it bit-identically
+    // (ShardedParallelParityTest). The single-node path below stays on
+    // the global-heap loop, byte-identical to the pooled loop under
+    // every policy — the retained oracle chain.
+    return cluster_detail::run_prepared_windowed(
+        config_, params_, backend, cascading_stages, arrival_times, id_base);
+  }
   const std::size_t per_node_capacity =
       node_capacity(backend.resources(), params_);
   const std::size_t n = arrival_times.size();

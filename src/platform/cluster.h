@@ -38,6 +38,23 @@ struct ClusterConfig {
   /// Irrelevant at nodes == 1 (every policy picks node 0 without touching
   /// its Rng, so single-node runs are policy-independent bit-for-bit).
   RouterPolicy router = RouterPolicy::kRoundRobin;
+  /// Worker threads for the windowed multi-node engine (nodes >= 2):
+  /// each node's event shard is driven by a worker from a
+  /// common::ThreadPool, advancing in conservative time windows with
+  /// cross-node events delivered at window barriers. 1 (the default)
+  /// runs the identical windowed schedule inline; results are
+  /// bit-identical for every thread count (ShardedParallelParityTest),
+  /// so this knob trades wall-clock only, never results. 0 = one thread
+  /// per hardware core. Ignored at nodes == 1 (nothing to shard).
+  std::size_t sim_threads = 1;
+  /// Window width override for the windowed engine, in simulated ms.
+  /// 0 (the default) derives the width from the config: the retry
+  /// backoff floor when cross-node retries are possible, a fixed
+  /// router-fidelity cap when a stateful policy needs fresh snapshots,
+  /// and a single run-length window otherwise. Like sim_threads it
+  /// never affects cross-thread parity — only fidelity of stateful
+  /// routing snapshots and barrier overhead.
+  TimeMs sim_window_ms = 0.0;
   /// Idle instances are reclaimed after this long.
   TimeMs keep_alive_ms = 10000.0;
   /// Simulated duration.

@@ -1,0 +1,1207 @@
+// Windowed conservative-PDES engine behind ClusterSimulator::run_prepared
+// at nodes >= 2.
+//
+// Every node owns a full serving shard — typed event heap, monotone warm
+// ring, tombstoned waiting queue, constant-delay timeout ring — and
+// advances it inside left-closed time windows [B, B'). The window width
+// is the minimum cross-node latency: a re-routed retry generated at
+// t_fail inside the window cannot re-dispatch before t_fail + the retry
+// backoff floor, so with width <= floor every cross-node event lands at
+// or after the next barrier. At each barrier a single coordinator owns
+// all state: it drains per-node outboxes, routes pending dispatches
+// (arrivals + transferred retries + crash requeues) in one global
+// (time, kind, id) order against a RouterSnapshot, processes node
+// crashes (whose times are known statically, so windows are cut at
+// them), and k-way merges the per-node delta logs into the global
+// accounting (peak_instances, peak_queue, latency fold) in (time, node)
+// order.
+//
+// Determinism: nothing in the schedule depends on the worker count —
+// node->worker assignment is fixed, every cross-shard interaction
+// happens in coordinator-defined order, per-node Rng streams are split
+// at setup, and the merged accounting order is (time, node). The
+// sim_threads == 1 execution IS the engine's sequential semantics;
+// 2/4/8 threads replay it bit-for-bit (ShardedParallelParityTest).
+//
+// Stateless policies (round_robin, random) never read node state, so a
+// fault-free run needs no intermediate barrier at all: one window spans
+// the whole horizon and the shards run embarrassingly parallel.
+// Stateful policies (least_outstanding, power_of_two, warm_affinity)
+// route against per-node in-flight/warm snapshots republished at every
+// barrier, so their windows are additionally capped at a fixed fidelity
+// width.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "metrics/stats.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "platform/cluster.h"
+#include "platform/cluster_internal.h"
+#include "platform/router.h"
+#include "sim/event_queue.h"
+#include "sim/shard.h"
+
+namespace chiron {
+namespace cluster_detail {
+namespace {
+
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+/// Sentinel node index: the request's timeout is in flight between nodes
+/// (its origin-side ring entry is a tombstone; the destination re-arms a
+/// heap timeout at delivery).
+constexpr std::uint32_t kTimeoutInFlight = 0xFFFFFFFFu;
+/// Fidelity cap for stateful-router windows: snapshots are republished
+/// at least this often in simulated time.
+constexpr TimeMs kStatefulWindowMs = 10.0;
+/// Lower bound on the window width so a jitter >= 1 config (backoff
+/// floor 0) cannot degenerate into infinitely many windows. Transfers
+/// landing inside the current window are delivered at the next barrier
+/// (clamped), which stays deterministic.
+constexpr TimeMs kMinWindowMs = 0.25;
+
+struct TimeoutEntry {
+  TimeMs at;
+  std::uint64_t seq;
+  std::uint32_t id;
+};
+
+/// Cross-node dispatch handed to the coordinator: a re-routed retry (from
+/// a worker outbox or a crash victim) waiting for the barrier of the
+/// window containing `at`.
+struct Transfer {
+  TimeMs at;
+  std::uint32_t id;
+};
+
+/// One routed dispatch delivered into a shard's window inbox.
+struct InboxEntry {
+  TimeMs at;
+  std::uint32_t id;
+  /// kNew: first dispatch (record admission, arm the ring timeout).
+  /// kRedispatch: transferred retry or crash requeue (re-arm the heap
+  /// timeout carried in ReqState::deadline).
+  enum class Kind : std::uint8_t { kNew, kRedispatch } kind;
+};
+
+/// Per-node accounting delta, merged across shards at barriers in
+/// (time, node) order so the global trajectory (live instances, queue
+/// depth, latency fold) replays one canonical sequential order.
+struct LogEntry {
+  TimeMs at;
+  double value;  ///< latency for kLatency; unused otherwise
+  enum class Kind : std::uint8_t {
+    kLiveUp,    ///< cold start brought an instance up (peak sample point)
+    kLiveDown,  ///< reap or sandbox crash took an instance down
+    kQueueUp,   ///< request queued (peak sample point)
+    kQueueDown, ///< request dequeued or timed out while queued
+    kLatency,   ///< completion: value = e2e latency
+  } kind;
+};
+
+/// Counters a worker accumulates privately; summed (integers — order
+/// free) into ClusterResult and the metric sinks at teardown.
+struct Tally {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  std::size_t timed_out = 0;
+  std::size_t dropped = 0;
+  std::size_t cold_starts = 0;
+  std::size_t fault_kind[4] = {0, 0, 0, 0};  // cold, crash, straggler, node
+
+  void fold(const Tally& t) {
+    completed += t.completed;
+    failed += t.failed;
+    retried += t.retried;
+    timed_out += t.timed_out;
+    dropped += t.dropped;
+    cold_starts += t.cold_starts;
+    for (int i = 0; i < 4; ++i) fault_kind[i] += t.fault_kind[i];
+  }
+  std::size_t fault_total() const {
+    return fault_kind[0] + fault_kind[1] + fault_kind[2] + fault_kind[3];
+  }
+};
+
+struct ReqState {
+  TimeMs arrival = 0.0;
+  TimeMs deadline = 0.0;  ///< absolute timeout deadline; 0 = none
+  std::uint32_t attempt = 1;
+  std::uint32_t node = 0;          ///< where the current attempt lives
+  std::uint32_t timeout_node = 0;  ///< shard owning the armed timeout
+  enum class Phase : std::uint8_t {
+    kWaiting,
+    kQueued,
+    kRunning,
+    kBackoff,
+    kDone,
+  } phase = Phase::kWaiting;
+  ClusterEventQueue::Handle pending_ev{};
+  ClusterEventQueue::Handle timeout_ev{};
+  bool has_timeout_ev = false;
+  bool timeout_via_ring = false;
+  /// True while the arrival shard's timeout ring holds a live entry for
+  /// this request. Written ONLY by that shard's worker (arm, ring fire,
+  /// local disarm, transfer-out) or by the coordinator at barriers —
+  /// never by the shard a transferred request moved to — so
+  /// prune_timeout_ring can test staleness without racing the new
+  /// owner's timeout bookkeeping (has_timeout_ev & co above).
+  bool ring_live = false;
+};
+
+/// One node's complete serving shard. Workers own disjoint shard sets
+/// during a window; the coordinator owns everything at barriers (the
+/// WindowBarrier mutex provides the happens-before edges).
+struct Shard {
+  std::uint32_t k = 0;
+  Ring<TimeMs> warm;
+  Ring<std::uint32_t> queue;
+  std::size_t live = 0;
+  std::size_t busy = 0;
+  std::size_t queued_live = 0;
+  std::size_t peak_queue = 0;  ///< peak of queued_live (NodeResult)
+  ClusterEventQueue events;
+  Ring<TimeoutEntry> timeout_ring;
+  std::vector<InboxEntry> inbox;
+  std::size_t inbox_cursor = 0;
+  sim::Mailbox<Transfer> outbox;
+  std::vector<LogEntry> log;
+  double busy_area = 0.0;
+  TimeMs last_event = 0.0;
+  TimeMs next_at = kInf;  ///< earliest local event after the last window
+  Rng rng{0};             ///< per-node service-time stream
+  Tally tally;
+  std::size_t routed = 0;
+  std::size_t node_crashes = 0;
+};
+
+int fault_kind_index(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kColdStart: return 0;
+    case FaultKind::kCrash: return 1;
+    case FaultKind::kStraggler: return 2;
+    case FaultKind::kNodeCrash: return 3;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+ClusterResult run_prepared_windowed(const ClusterConfig& config,
+                                    const RuntimeParams& params,
+                                    const Backend& backend,
+                                    std::size_t cascading_stages,
+                                    const std::vector<TimeMs>& arrival_times,
+                                    std::uint64_t id_base) {
+  const std::uint32_t node_count =
+      static_cast<std::uint32_t>(std::max<std::size_t>(2, config.nodes));
+  const std::size_t per_node_capacity =
+      node_capacity(backend.resources(), params);
+  const std::size_t n = arrival_times.size();
+
+  // Seeded stream plan, same prefix as the single-node loop: first split
+  // fed the arrival generator, the second roots the service streams, the
+  // third seeds the router. Per-node service streams are further splits
+  // of the service root, taken in node order at setup — fixed for every
+  // thread count.
+  Rng rng(config.seed);
+  (void)rng.split();
+  Rng service_root = rng.split();
+  Router router(config.router, node_count, rng.split());
+
+  const FaultInjector injector(config.faults);
+  const RetryPolicy& retry = config.retry;
+  const bool has_timeout = retry.timeout_ms > 0.0;
+  const TimeMs cold_penalty = cold_start_penalty(params, cascading_stages);
+
+  // Mode derivation — a pure function of the config, never of the thread
+  // count (the parity anchor). Retries can cross nodes only when an
+  // attempt can actually fail with attempts to spare; node crashes
+  // always transfer (queue drains re-route) but their times are known
+  // statically, so they cut windows rather than bound the width.
+  const bool attempts_can_fail = config.faults.cold_start_failure > 0.0 ||
+                                 config.faults.crash > 0.0 ||
+                                 config.faults.node_crash > 0.0;
+  const bool retry_transfers = retry.max_attempts > 1 && attempts_can_fail;
+  const bool stateful_router =
+      config.router == RouterPolicy::kLeastOutstanding ||
+      config.router == RouterPolicy::kPowerOfTwo ||
+      config.router == RouterPolicy::kWarmAffinity;
+  TimeMs width = kInf;
+  if (config.sim_window_ms > 0.0) {
+    width = config.sim_window_ms;
+  } else {
+    if (retry_transfers) {
+      // Backoff floor: the smallest backoff any retry can draw is
+      // min(base, max) * (1 - jitter) (attempt 1, worst-case jitter).
+      const double swing = std::min(retry.jitter, 1.0);
+      const TimeMs floor_ms =
+          std::min(retry.base_backoff_ms, retry.max_backoff_ms) *
+          (1.0 - swing);
+      width = std::min(width, std::max(kMinWindowMs, floor_ms));
+    }
+    if (stateful_router) width = std::min(width, kStatefulWindowMs);
+  }
+  const bool single_window = !std::isfinite(width) &&
+                             !(config.faults.node_crash > 0.0);
+
+  ClusterResult result;
+  result.offered = n;
+  result.request_id_base = id_base;
+  result.node_results.resize(node_count);
+
+  // Observability sinks (simulated timestamps throughout). Tracer and
+  // recorder are thread-safe and written live by workers; metric
+  // counters are flushed once at teardown from the per-shard tallies so
+  // their final values are deterministic and match ClusterResult.
+  obs::Tracer* tracer =
+      config.tracer && config.tracer->enabled() ? config.tracer : nullptr;
+  obs::MetricsRegistry* metrics = config.metrics;
+  const int request_track =
+      tracer ? tracer->new_track("cluster.requests", obs::kVirtualPid) : 0;
+  obs::FlightRecorder* recorder =
+      config.recorder && config.recorder->enabled() ? config.recorder
+                                                    : nullptr;
+  const std::string fault_label[4] = {"fault.cold_start", "fault.crash",
+                                      "fault.straggler", "fault.node_crash"};
+  std::vector<obs::Gauge*> node_queue_gauge(node_count, nullptr);
+  if (metrics) {
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      node_queue_gauge[k] = &metrics->gauge("cluster.node." +
+                                            std::to_string(k) +
+                                            ".queue_depth");
+    }
+  }
+  auto rid = [id_base](std::uint64_t id) { return id_base + id; };
+
+  std::vector<ReqState> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) reqs[i].arrival = arrival_times[i];
+
+  // Arrival order: a cursor over the (time, index)-sorted stream. The
+  // generator emits sorted times; an unsorted hand-built vector gets one
+  // stable index sort at setup (the heap order the single-node loop
+  // would have used).
+  const bool sorted_arrivals =
+      std::is_sorted(arrival_times.begin(), arrival_times.end());
+  std::vector<std::uint32_t> arrival_order;
+  if (!sorted_arrivals) {
+    arrival_order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      arrival_order[i] = static_cast<std::uint32_t>(i);
+    }
+    std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return arrival_times[a] < arrival_times[b];
+                     });
+  }
+  auto arrival_id = [&](std::size_t i) {
+    return sorted_arrivals ? static_cast<std::uint32_t>(i) : arrival_order[i];
+  };
+  auto arrival_at = [&](std::size_t i) {
+    return arrival_times[arrival_id(i)];
+  };
+
+  // Statically-known node crash schedule, sorted by (time, node): each
+  // crash is a window cut processed by the coordinator at its barrier.
+  struct CrashPoint {
+    TimeMs at;
+    std::uint32_t k;
+  };
+  std::vector<CrashPoint> crashes;
+  if (config.faults.node_crash > 0.0) {
+    crashes.reserve(node_count);
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      if (!injector.node_crashes(k)) continue;
+      crashes.push_back(
+          CrashPoint{config.horizon_ms * injector.node_crash_frac(k), k});
+    }
+    std::sort(crashes.begin(), crashes.end(),
+              [](const CrashPoint& a, const CrashPoint& b) {
+                return a.at != b.at ? a.at < b.at : a.k < b.k;
+              });
+  }
+
+  // Shard sizing. Per-node reservations scale with the node's share of
+  // the request stream (with 4x headroom for routing skew) so steady
+  // state stays allocation-free; a pathologically skewed run grows a
+  // ring or vector — correct, just no longer allocation-free.
+  const std::size_t share = n / node_count + 1;
+  const bool transfers_possible =
+      retry_transfers || config.faults.node_crash > 0.0;
+  std::vector<Shard> shards(node_count);
+  for (std::uint32_t k = 0; k < node_count; ++k) {
+    Shard& s = shards[k];
+    s.k = k;
+    s.rng = service_root.split();
+    s.warm.reserve(std::min(per_node_capacity, n) + 1);
+    s.queue.reserve(std::min(n, 4 * share + 64) + 1);
+    if (has_timeout) s.timeout_ring.reserve(std::min(n, 4 * share + 64) + 1);
+    // Live heap events: completions/crashes (<= busy <= capacity) plus
+    // transferred-in heap timeouts (<= requests resident on the node).
+    const std::size_t ev_slots =
+        transfers_possible || has_timeout
+            ? std::min(2 * n + 8, 6 * share + 2 * per_node_capacity + 64)
+            : per_node_capacity + 16;
+    s.events.reserve(ev_slots, 2 * ev_slots + 16);
+    if (!single_window) {
+      s.inbox.reserve(std::min(n, 4 * share + 64));
+      s.log.reserve(std::min(5 * n, 10 * share + 64));
+    }
+    if (transfers_possible) s.outbox.reserve(std::min(n, 2 * share + 64));
+  }
+
+  // Coordinator state.
+  std::vector<Transfer> pending;  ///< undelivered cross-node dispatches
+  if (transfers_possible) pending.reserve(n);
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  RouterSnapshot snapshot(node_count);
+  std::vector<std::uint32_t> batch_picks;
+  batch_picks.reserve(n);
+  std::vector<std::size_t> merge_cursor(node_count, 0);
+  Tally coord;  ///< crash-path and late-timeout counters
+  obs::Histogram* latency_hist =
+      metrics ? &metrics->histogram("cluster.e2e_latency_ms") : nullptr;
+
+  // Global running aggregates, advanced only at barriers (merged logs)
+  // and by coordinator-side crash processing — one canonical order.
+  std::size_t live_now = 0;
+  std::size_t queued_now = 0;
+  TimeMs coord_last = 0.0;
+  std::size_t window_count = 0;
+  std::size_t transfer_count = 0;
+  std::size_t barrier_routed = 0;
+
+  // ---- shared handlers (called by workers inside windows for their own
+  // shards, and by the coordinator at barriers for any shard) ----
+
+  auto log_entry = [&](Shard& s, TimeMs at, LogEntry::Kind kind,
+                       double value = 0.0) {
+    s.log.push_back(LogEntry{at, value, kind});
+  };
+
+  auto account = [](Shard& s, TimeMs now) {
+    s.busy_area += static_cast<double>(s.busy) * (now - s.last_event);
+    s.last_event = now;
+  };
+
+  auto reap_node = [&](Shard& s, TimeMs now) {
+    while (!s.warm.empty() &&
+           now - s.warm.front() >= config.keep_alive_ms) {
+      s.warm.pop_front();
+      --s.live;
+      log_entry(s, now, LogEntry::Kind::kLiveDown);
+    }
+  };
+
+  auto note_node_queue = [&](Shard& s) {
+    if (node_queue_gauge[s.k]) {
+      node_queue_gauge[s.k]->set(static_cast<double>(s.queued_live));
+    }
+  };
+
+  auto count_fault = [&](Shard& s, FaultKind kind, std::uint32_t id,
+                         std::uint32_t attempt, TimeMs now,
+                         double value = 0.0) {
+    const int ki = fault_kind_index(kind);
+    if (ki >= 0) ++s.tally.fault_kind[ki];
+    if (tracer && ki >= 0) {
+      tracer->instant_at(fault_label[ki], "fault", obs::kVirtualPid,
+                         request_track, now,
+                         {{"request", static_cast<double>(rid(id))},
+                          {"attempt", static_cast<double>(attempt)}});
+    }
+    if (recorder) {
+      recorder->record(fault_rec_kind(kind), rid(id), attempt, now, value,
+                       static_cast<std::int32_t>(reqs[id].node));
+    }
+  };
+
+  auto end_request_span = [&](std::uint32_t id, TimeMs now) {
+    if (tracer) {
+      tracer->async_end_at("request", "sim", obs::kVirtualPid, request_track,
+                           now, rid(id));
+    }
+  };
+
+  // Disarms `id`'s timeout from shard `s` (which must own it, or it is a
+  // ring entry turning into a lazy tombstone) and marks the request done.
+  auto finalize = [&](Shard& s, std::uint32_t id) {
+    ReqState& r = reqs[id];
+    r.phase = ReqState::Phase::kDone;
+    if (r.has_timeout_ev) {
+      if (r.timeout_via_ring) {
+        r.ring_live = false;  // via_ring implies s owns the ring entry
+      } else if (r.timeout_node == s.k) {
+        s.events.cancel(r.timeout_ev);
+      }
+      r.has_timeout_ev = false;
+    }
+  };
+
+  auto take_queued = [&](Shard& s) -> std::optional<std::uint32_t> {
+    while (!s.queue.empty()) {
+      const std::uint32_t id = s.queue.pop_front();
+      if (reqs[id].phase == ReqState::Phase::kQueued) {
+        --s.queued_live;
+        note_node_queue(s);
+        return id;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Handles one failed attempt at `t` on shard `s`. A surviving retry
+  // becomes a cross-node transfer via `sink` (the worker's outbox or the
+  // coordinator's pending list) — unless its deadline lands at or before
+  // the re-dispatch time, in which case the still-armed timeout fires
+  // first and the retry is never delivered (the sequential loop's
+  // timeout-cancels-retry order).
+  auto fail_attempt = [&](Shard& s, std::uint32_t id, TimeMs t,
+                          TimeMs extra_delay, Tally& tally, auto&& sink) {
+    ReqState& r = reqs[id];
+    ++tally.failed;
+    if (r.attempt < retry.max_attempts) {
+      ++tally.retried;
+      const TimeMs backoff = injector.retry_backoff_ms(retry, r.attempt, id);
+      if (tracer) {
+        tracer->complete_at("retry.backoff", "fault", obs::kVirtualPid,
+                            request_track, t, extra_delay + backoff,
+                            {{"attempt", static_cast<double>(r.attempt)},
+                             {"request", static_cast<double>(rid(id))}});
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kRetryBackoff, rid(id), r.attempt, t,
+                         extra_delay + backoff,
+                         static_cast<std::int32_t>(r.node));
+      }
+      ++r.attempt;
+      r.phase = ReqState::Phase::kBackoff;
+      const TimeMs t_retry = t + extra_delay + backoff;
+      if (r.has_timeout_ev && r.deadline <= t_retry) {
+        // The timeout wins: leave it armed where it is; no transfer.
+      } else {
+        if (r.has_timeout_ev) {
+          if (r.timeout_via_ring) {
+            r.ring_live = false;  // origin ring entry tombstoned
+          } else if (r.timeout_node == s.k) {
+            s.events.cancel(r.timeout_ev);
+          }
+          r.timeout_node = kTimeoutInFlight;
+          r.timeout_via_ring = false;
+        }
+        sink(Transfer{t_retry, id});
+      }
+    } else {
+      ++tally.dropped;
+      if (recorder) {
+        recorder->record(obs::RecKind::kDrop, rid(id), r.attempt, t, 0.0,
+                         static_cast<std::int32_t>(r.node));
+      }
+      finalize(s, id);
+      end_request_span(id, t);
+    }
+  };
+
+  auto begin_service = [&](Shard& s, std::uint32_t id, TimeMs now,
+                           TimeMs startup, Tally& tally, auto&& sink) {
+    ReqState& r = reqs[id];
+    r.phase = ReqState::Phase::kRunning;
+    ++s.busy;
+    TimeMs service = backend.run(s.rng).e2e_latency_ms;
+    if (injector.straggles(id, r.attempt)) {
+      service *= config.faults.straggler_multiplier;
+      count_fault(s, FaultKind::kStraggler, id, r.attempt, now,
+                  config.faults.straggler_multiplier);
+    }
+    if (recorder) {
+      recorder->record(obs::RecKind::kServiceBegin, rid(id), r.attempt, now,
+                       service, static_cast<std::int32_t>(s.k));
+    }
+    if (injector.crashes(id, r.attempt)) {
+      const TimeMs crash_at =
+          now + startup + service * config.faults.crash_point;
+      r.pending_ev = s.events.schedule(
+          crash_at, ClusterEvent{ClusterEvent::Kind::kCrash, id});
+      return;
+    }
+    const TimeMs finish = now + startup + service;
+    r.pending_ev = s.events.schedule(
+        finish, ClusterEvent{ClusterEvent::Kind::kCompletion, id});
+    (void)tally;
+    (void)sink;
+  };
+
+  // Places `id` on shard `s` at `now` — routing already decided at the
+  // barrier: warm reuse, cold start if the node has headroom, else the
+  // node's queue.
+  auto dispatch_to = [&](Shard& s, std::uint32_t id, TimeMs now,
+                         Tally& tally, auto&& sink) {
+    account(s, now);
+    reap_node(s, now);
+    ReqState& r = reqs[id];
+    r.node = s.k;
+    ++s.routed;
+    if (!s.warm.empty()) {
+      s.warm.pop_back();  // LIFO keeps hot instances hot
+      begin_service(s, id, now, 0.0, tally, sink);
+    } else if (s.live < per_node_capacity) {
+      if (injector.cold_start_fails(id, r.attempt)) {
+        // The sandbox dies during boot: the boot time is still paid (it
+        // delays the retry) but no instance comes up.
+        count_fault(s, FaultKind::kColdStart, id, r.attempt, now,
+                    cold_penalty);
+        fail_attempt(s, id, now, cold_penalty, tally, sink);
+        return;
+      }
+      ++s.live;
+      log_entry(s, now, LogEntry::Kind::kLiveUp);
+      ++s.tally.cold_starts;
+      if (tracer) {
+        tracer->instant_at("cluster.cold_start", "sim", obs::kVirtualPid,
+                           request_track, now,
+                           {{"request", static_cast<double>(rid(id))},
+                            {"node", static_cast<double>(s.k)}});
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kColdStart, rid(id), r.attempt, now,
+                         cold_penalty, static_cast<std::int32_t>(s.k));
+      }
+      begin_service(s, id, now, cold_penalty, tally, sink);
+    } else {
+      r.phase = ReqState::Phase::kQueued;
+      s.queue.push_back(id);
+      ++s.queued_live;
+      s.peak_queue = std::max(s.peak_queue, s.queued_live);
+      log_entry(s, now, LogEntry::Kind::kQueueUp);
+      if (recorder) {
+        recorder->record(obs::RecKind::kQueue, rid(id), r.attempt, now,
+                         static_cast<double>(s.queued_live),
+                         static_cast<std::int32_t>(s.k));
+      }
+      note_node_queue(s);
+    }
+  };
+
+  // Frees the instance that just finished/aborted on `s`: hand it to the
+  // next queued request directly, or park it in the warm pool.
+  auto release_instance = [&](Shard& s, TimeMs at, Tally& tally,
+                              auto&& sink) {
+    if (const auto qid = take_queued(s)) {
+      log_entry(s, at, LogEntry::Kind::kQueueDown);
+      // Handed to the queued request directly (it stays on its node): it
+      // never visits the warm pool, so reap cannot reclaim it out from
+      // under the handoff.
+      reap_node(s, at);
+      begin_service(s, *qid, at, 0.0, tally, sink);
+    } else {
+      s.warm.push_back(at);
+    }
+  };
+
+  auto handle_timeout = [&](Shard& s, std::uint32_t id, TimeMs at,
+                            Tally& tally, auto&& sink) {
+    ReqState& r = reqs[id];
+    if (r.timeout_via_ring) r.ring_live = false;  // fired from s's own ring
+    r.has_timeout_ev = false;
+    ++tally.timed_out;
+    if (tracer) {
+      tracer->instant_at("request.timeout", "fault", obs::kVirtualPid,
+                         request_track, at,
+                         {{"request", static_cast<double>(rid(id))}});
+    }
+    if (recorder) {
+      recorder->record(obs::RecKind::kTimeout, rid(id), r.attempt, at, 0.0,
+                       static_cast<std::int32_t>(r.node));
+    }
+    switch (r.phase) {
+      case ReqState::Phase::kQueued: {
+        // Lazy tombstone: the queue entry stays behind and take_queued
+        // skips it; only the live counters move.
+        --s.queued_live;
+        log_entry(s, at, LogEntry::Kind::kQueueDown);
+        note_node_queue(s);
+        break;
+      }
+      case ReqState::Phase::kRunning: {
+        // The platform aborts the handler but keeps the sandbox.
+        s.events.cancel(r.pending_ev);
+        account(s, at);
+        --s.busy;
+        release_instance(s, at, tally, sink);
+        break;
+      }
+      case ReqState::Phase::kBackoff:
+        // The retry is an undelivered transfer (or was never sunk); the
+        // coordinator checks deadlines before delivery, so nothing is
+        // armed here to cancel.
+        break;
+      default:
+        break;
+    }
+    r.phase = ReqState::Phase::kDone;
+    end_request_span(id, at);
+  };
+
+  auto handle_completion = [&](Shard& s, std::uint32_t id, TimeMs at,
+                               Tally& tally, auto&& sink) {
+    account(s, at);
+    ReqState& r = reqs[id];
+    --s.busy;
+    const TimeMs latency = at - r.arrival;
+    log_entry(s, at, LogEntry::Kind::kLatency, latency);
+    ++tally.completed;
+    if (recorder) {
+      recorder->record(obs::RecKind::kComplete, rid(id), r.attempt, at,
+                       latency, static_cast<std::int32_t>(s.k));
+    }
+    finalize(s, id);
+    end_request_span(id, at);
+    release_instance(s, at, tally, sink);
+  };
+
+  auto handle_crash = [&](Shard& s, std::uint32_t id, TimeMs at,
+                          Tally& tally, auto&& sink) {
+    account(s, at);
+    ReqState& r = reqs[id];
+    --s.busy;
+    --s.live;  // the crash takes the sandbox with it
+    log_entry(s, at, LogEntry::Kind::kLiveDown);
+    count_fault(s, FaultKind::kCrash, id, r.attempt, at);
+    fail_attempt(s, id, at, 0.0, tally, sink);
+    // The crash freed a slot on this node: a queued request can now
+    // cold-start here (no re-route; the queue is node-local).
+    if (const auto qid = take_queued(s)) {
+      log_entry(s, at, LogEntry::Kind::kQueueDown);
+      dispatch_to(s, *qid, at, tally, sink);
+    }
+  };
+
+  auto handle_inbox = [&](Shard& s, const InboxEntry& e, Tally& tally,
+                          auto&& sink) {
+    ReqState& r = reqs[e.id];
+    s.events.advance_to(e.at);
+    if (e.kind == InboxEntry::Kind::kNew) {
+      if (tracer) {
+        tracer->async_begin_at("request", "sim", obs::kVirtualPid,
+                               request_track, e.at, rid(e.id));
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kAdmit, rid(e.id), 1, e.at);
+      }
+      if (has_timeout) {
+        r.deadline = e.at + retry.timeout_ms;
+        r.has_timeout_ev = true;
+        r.timeout_via_ring = true;
+        r.ring_live = true;
+        r.timeout_node = s.k;
+        s.timeout_ring.push_back(
+            TimeoutEntry{r.deadline, s.events.mint_seq(), e.id});
+      }
+    } else if (r.has_timeout_ev && r.timeout_node == kTimeoutInFlight) {
+      // The timeout travelled with the transfer: re-arm it here FIRST so
+      // its seq precedes any event of the re-dispatched attempt —
+      // timeout still wins ties at the deadline.
+      r.timeout_via_ring = false;
+      r.timeout_node = s.k;
+      r.timeout_ev = s.events.schedule(
+          r.deadline, ClusterEvent{ClusterEvent::Kind::kTimeout, e.id});
+    }
+    dispatch_to(s, e.id, e.at, tally, sink);
+  };
+
+  // True while the timeout ring's front entry is a tombstone (fired,
+  // finalized, or transferred away).
+  auto prune_timeout_ring = [&](Shard& s) {
+    while (!s.timeout_ring.empty()) {
+      // ring_live is the ONLY ReqState field read here: the request may
+      // have transferred to another node whose worker is concurrently
+      // rewriting its timeout bookkeeping, but ring_live is written
+      // exclusively by this shard (or the coordinator at a barrier,
+      // which orders against this read via the window mutex).
+      if (reqs[s.timeout_ring.front().id].ring_live) return;
+      s.timeout_ring.pop_front();
+    }
+  };
+
+  // Runs shard `s` through its window [.., window_end): inbox entries
+  // (all < window_end by construction), ring timeouts, and heap events
+  // merged with inbox-wins-ties and ring-vs-heap (time, seq) order —
+  // the single-node loop's three-way merge, per shard.
+  auto process_window = [&](Shard& s, TimeMs window_end) {
+    auto sink = [&s](const Transfer& t) { s.outbox.push(t); };
+    Tally& tally = s.tally;
+    for (;;) {
+      prune_timeout_ring(s);
+      const bool have_inbox = s.inbox_cursor < s.inbox.size();
+      const TimeMs inbox_at =
+          have_inbox ? s.inbox[s.inbox_cursor].at : kInf;
+      TimeMs ring_at = kInf;
+      std::uint64_t ring_seq = 0;
+      if (!s.timeout_ring.empty() && s.timeout_ring.front().at < window_end) {
+        ring_at = s.timeout_ring.front().at;
+        ring_seq = s.timeout_ring.front().seq;
+      }
+      TimeMs heap_at = kInf;
+      std::uint64_t heap_seq = 0;
+      {
+        TimeMs at;
+        std::uint64_t seq;
+        if (s.events.peek(&at, &seq) && at < window_end) {
+          heap_at = at;
+          heap_seq = seq;
+        }
+      }
+      if (have_inbox && inbox_at <= ring_at && inbox_at <= heap_at) {
+        const InboxEntry e = s.inbox[s.inbox_cursor++];
+        handle_inbox(s, e, tally, sink);
+        continue;
+      }
+      if (ring_at < heap_at || (ring_at == heap_at && ring_seq < heap_seq)) {
+        if (!std::isfinite(ring_at)) break;
+        const TimeoutEntry front = s.timeout_ring.front();
+        s.timeout_ring.pop_front();
+        s.events.advance_to(front.at);
+        handle_timeout(s, front.id, front.at, tally, sink);
+        continue;
+      }
+      if (!std::isfinite(heap_at)) break;
+      TimeMs at;
+      ClusterEvent ev;
+      s.events.pop(&at, &ev);
+      switch (ev.kind) {
+        case ClusterEvent::Kind::kCompletion:
+          handle_completion(s, ev.id, at, tally, sink);
+          break;
+        case ClusterEvent::Kind::kCrash:
+          handle_crash(s, ev.id, at, tally, sink);
+          break;
+        case ClusterEvent::Kind::kTimeout:
+          handle_timeout(s, ev.id, at, tally, sink);
+          break;
+        default:
+          break;  // kArrival/kRetry/kNodeCrash never enter shard heaps
+      }
+    }
+    s.inbox.clear();
+    s.inbox_cursor = 0;
+    // Publish the earliest remaining local event for the coordinator's
+    // idle-window jump.
+    prune_timeout_ring(s);
+    s.next_at = kInf;
+    if (!s.timeout_ring.empty()) s.next_at = s.timeout_ring.front().at;
+    TimeMs at;
+    if (s.events.peek(&at) && at < s.next_at) s.next_at = at;
+  };
+
+  // ---- coordinator: routing, crashes, merging ----
+
+  auto coord_sink = [&](const Transfer& t) { pending.push_back(t); };
+
+  // Routes one dispatch at barrier time against the published snapshot.
+  auto route_one = [&](std::uint32_t id, TimeMs at, InboxEntry::Kind kind) {
+    ReqState& r = reqs[id];
+    if (kind == InboxEntry::Kind::kRedispatch && r.has_timeout_ev &&
+        r.deadline <= at) {
+      // The transfer was clamped past its deadline (possible only with a
+      // jitter-degenerate backoff floor): the request times out at its
+      // deadline instead of re-dispatching.
+      r.has_timeout_ev = false;
+      ++coord.timed_out;
+      if (tracer) {
+        tracer->instant_at("request.timeout", "fault", obs::kVirtualPid,
+                           request_track, r.deadline,
+                           {{"request", static_cast<double>(rid(id))}});
+      }
+      if (recorder) {
+        recorder->record(obs::RecKind::kTimeout, rid(id), r.attempt,
+                         r.deadline, 0.0,
+                         static_cast<std::int32_t>(r.node));
+      }
+      r.phase = ReqState::Phase::kDone;
+      end_request_span(id, r.deadline);
+      coord_last = std::max(coord_last, r.deadline);
+      return;
+    }
+    const std::uint32_t k = router.pick(snapshot.data(), node_count);
+    snapshot.apply_pick(k);
+    shards[k].inbox.push_back(InboxEntry{at, id, kind});
+    ++barrier_routed;
+    if (kind == InboxEntry::Kind::kRedispatch) ++transfer_count;
+  };
+
+  // Publishes every node's view for a barrier batch. Stateless policies
+  // never read the views, so the (reap + publish) pass is skipped and
+  // reaping happens lazily at dispatch, exactly as inside windows.
+  auto publish_views = [&](TimeMs at) {
+    if (!stateful_router) return;
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      Shard& s = shards[k];
+      reap_node(s, at);
+      snapshot.publish(
+          k, static_cast<std::uint32_t>(s.busy + s.queued_live),
+          static_cast<std::uint32_t>(s.warm.size()));
+    }
+  };
+
+  std::size_t next_arrival = 0;
+
+  // Routes every dispatch whose time falls in [B, window_end): pending
+  // transfers merged with the arrival stream in (time, arrivals-first,
+  // id) order. Late transfers (clamped) deliver at B.
+  auto route_batch = [&](TimeMs B, TimeMs window_end) {
+    std::sort(pending.begin(), pending.end(),
+              [](const Transfer& a, const Transfer& b) {
+                return a.at != b.at ? a.at < b.at : a.id < b.id;
+              });
+    publish_views(B);
+    std::size_t p = 0;
+    while (true) {
+      const bool have_arr = next_arrival < n;
+      const TimeMs a_at = have_arr ? arrival_at(next_arrival) : kInf;
+      const bool have_p = p < pending.size();
+      const TimeMs p_at = have_p ? std::max(pending[p].at, B) : kInf;
+      if (a_at < window_end && a_at <= p_at) {
+        route_one(arrival_id(next_arrival), a_at, InboxEntry::Kind::kNew);
+        ++next_arrival;
+      } else if (p_at < window_end) {
+        route_one(pending[p].id, p_at, InboxEntry::Kind::kRedispatch);
+        ++p;
+      } else {
+        break;
+      }
+    }
+    pending.erase(pending.begin(), pending.begin() + p);
+  };
+
+  // Single-window fast path sizing: with the whole run routed in one
+  // batch, per-node inbox and log reservations can be exact, so the
+  // parallel phase allocates nothing.
+  if (single_window) {
+    batch_picks.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      publish_views(arrival_at(i));
+      batch_picks.push_back(router.pick(snapshot.data(), node_count));
+      snapshot.apply_pick(batch_picks.back());
+    }
+    std::vector<std::size_t> routed_k(node_count, 0);
+    for (const std::uint32_t k : batch_picks) ++routed_k[k];
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      shards[k].inbox.reserve(routed_k[k]);
+      // live+/- (<= 2 per cold start <= 2x routed), queue+/- and one
+      // latency per dispatch: 5x routed bounds the whole-run log.
+      shards[k].log.reserve(5 * routed_k[k] + 16);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      shards[batch_picks[i]].inbox.push_back(InboxEntry{
+          arrival_at(i), arrival_id(i), InboxEntry::Kind::kNew});
+      ++barrier_routed;
+    }
+    next_arrival = n;
+  }
+
+  // Merges every shard's window log into the global trajectory in
+  // (time, node) order: peaks are sampled at their only increase points
+  // (kLiveUp / kQueueUp), latencies fold in canonical order. K-way merge
+  // through a cursor min-heap — O(E log K), not O(E * K), so the serial
+  // barrier work stays a small fraction of the windows it merges.
+  std::vector<std::uint32_t> merge_heap(node_count);
+  auto merge_less = [&](std::uint32_t a, std::uint32_t b) {
+    const TimeMs at_a = shards[a].log[merge_cursor[a]].at;
+    const TimeMs at_b = shards[b].log[merge_cursor[b]].at;
+    // std::push/pop_heap build a max-heap; invert for (at, node) min.
+    return at_a != at_b ? at_a > at_b : a > b;
+  };
+  auto merge_logs = [&]() {
+    merge_heap.clear();
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      merge_cursor[k] = 0;
+      if (!shards[k].log.empty()) merge_heap.push_back(k);
+    }
+    std::make_heap(merge_heap.begin(), merge_heap.end(), merge_less);
+    while (!merge_heap.empty()) {
+      std::pop_heap(merge_heap.begin(), merge_heap.end(), merge_less);
+      const std::uint32_t best = merge_heap.back();
+      merge_heap.pop_back();
+      const LogEntry& e = shards[best].log[merge_cursor[best]++];
+      if (merge_cursor[best] < shards[best].log.size()) {
+        merge_heap.push_back(best);
+        std::push_heap(merge_heap.begin(), merge_heap.end(), merge_less);
+      }
+      switch (e.kind) {
+        case LogEntry::Kind::kLiveUp:
+          ++live_now;
+          result.peak_instances = std::max(result.peak_instances, live_now);
+          break;
+        case LogEntry::Kind::kLiveDown:
+          --live_now;
+          break;
+        case LogEntry::Kind::kQueueUp:
+          ++queued_now;
+          result.peak_queue = std::max(result.peak_queue, queued_now);
+          break;
+        case LogEntry::Kind::kQueueDown:
+          --queued_now;
+          break;
+        case LogEntry::Kind::kLatency:
+          latencies.push_back(e.value);
+          if (latency_hist) latency_hist->observe(e.value);
+          break;
+      }
+    }
+    for (Shard& s : shards) s.log.clear();
+  };
+
+  // Coordinator-side node crash at its statically-known time: fail the
+  // in-flight attempts (ascending id), drain the warm pool, re-route the
+  // queue — all before the next window opens, matching the sequential
+  // crash-first tie order.
+  auto process_crash = [&](const CrashPoint& c) {
+    Shard& s = shards[c.k];
+    account(s, c.at);
+    coord_last = std::max(coord_last, c.at);
+    ++result.node_crashes;
+    ++result.node_results[c.k].node_crashes;
+    ++s.node_crashes;
+    if (tracer) {
+      tracer->instant_at("fault.node_crash", "fault", obs::kVirtualPid,
+                         request_track, c.at,
+                         {{"node", static_cast<double>(c.k)},
+                          {"victims", static_cast<double>(s.busy)}});
+    }
+    if (recorder) {
+      recorder->record(obs::RecKind::kNodeCrash, 0, 0, c.at,
+                       static_cast<double>(s.busy),
+                       static_cast<std::int32_t>(c.k));
+    }
+    for (std::uint32_t victim = 0; victim < static_cast<std::uint32_t>(n);
+         ++victim) {
+      ReqState& r = reqs[victim];
+      if (r.phase != ReqState::Phase::kRunning || r.node != c.k) continue;
+      s.events.cancel(r.pending_ev);
+      --s.busy;
+      --s.live;
+      --live_now;
+      count_fault(s, FaultKind::kNodeCrash, victim, r.attempt, c.at,
+                  static_cast<double>(c.k));
+      fail_attempt(s, victim, c.at, 0.0, coord, coord_sink);
+    }
+    // The warm pool dies with the node.
+    while (!s.warm.empty()) {
+      s.warm.pop_front();
+      --s.live;
+      --live_now;
+    }
+    // Queued requests go back through the router at the crash time; the
+    // node itself restarts immediately (cold), so the router may well
+    // pick it again. Their timeouts travel with them.
+    publish_views(c.at);
+    while (const auto qid = take_queued(s)) {
+      --queued_now;
+      ReqState& r = reqs[*qid];
+      if (r.has_timeout_ev) {
+        if (r.timeout_via_ring) {
+          r.ring_live = false;
+        } else if (r.timeout_node == s.k) {
+          s.events.cancel(r.timeout_ev);
+        }
+        r.timeout_node = kTimeoutInFlight;
+        r.timeout_via_ring = false;
+      }
+      route_one(*qid, c.at, InboxEntry::Kind::kRedispatch);
+    }
+  };
+
+  // ---- the window loop ----
+
+  const std::size_t worker_count = std::min<std::size_t>(
+      node_count, ThreadPool::resolve_workers(
+                      config.sim_threads == 0 ? 0 : config.sim_threads));
+  const bool parallel = worker_count > 1;
+
+  std::optional<ThreadPool> pool;
+  std::optional<sim::WindowBarrier> barrier;
+  std::vector<std::future<void>> worker_done;
+  if (parallel) {
+    pool.emplace(worker_count);
+    barrier.emplace(worker_count);
+    worker_done.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      worker_done.push_back(pool->submit([&, w] {
+        obs::FlightRecorder::bind_thread_stripe(w);
+        std::uint64_t seen = 0;
+        double window_end = 0.0;
+        while (barrier->wait_open(&seen, &window_end)) {
+          for (std::uint32_t k = static_cast<std::uint32_t>(w);
+               k < node_count; k += static_cast<std::uint32_t>(worker_count)) {
+            process_window(shards[k], window_end);
+          }
+          barrier->report_done();
+        }
+      }));
+    }
+  }
+
+  auto run_window = [&](TimeMs window_end) {
+    if (parallel) {
+      barrier->open(window_end);
+      barrier->wait_done();
+    } else {
+      for (Shard& s : shards) process_window(s, window_end);
+    }
+    ++window_count;
+    for (Shard& s : shards) {
+      if (!s.outbox.empty()) {
+        for (const Transfer& t : s.outbox) pending.push_back(t);
+        s.outbox.clear();
+      }
+    }
+    merge_logs();
+    if (tracer) {
+      tracer->counter_at("cluster.queue_depth",
+                         static_cast<double>(queued_now), obs::kVirtualPid,
+                         0, std::isfinite(window_end)
+                                ? window_end
+                                : std::max(coord_last, config.horizon_ms));
+    }
+  };
+
+  std::size_t next_crash = 0;
+  TimeMs B = 0.0;
+  for (;;) {
+    TimeMs t_min = kInf;
+    if (next_arrival < n) t_min = std::min(t_min, arrival_at(next_arrival));
+    for (const Transfer& t : pending) t_min = std::min(t_min, t.at);
+    if (next_crash < crashes.size()) {
+      t_min = std::min(t_min, crashes[next_crash].at);
+    }
+    for (const Shard& s : shards) {
+      t_min = std::min(t_min, s.next_at);
+      if (s.inbox_cursor < s.inbox.size()) {
+        t_min = std::min(t_min, s.inbox[s.inbox_cursor].at);
+      }
+    }
+    if (!std::isfinite(t_min)) break;
+    B = std::max(B, t_min);  // idle-window jump
+    while (next_crash < crashes.size() && crashes[next_crash].at <= B) {
+      process_crash(crashes[next_crash]);
+      ++next_crash;
+    }
+    TimeMs window_end = B + width;  // inf-safe
+    if (next_crash < crashes.size() && crashes[next_crash].at < window_end) {
+      window_end = crashes[next_crash].at;
+    }
+    if (!single_window) route_batch(B, window_end);
+    run_window(window_end);
+    B = window_end;
+    if (!std::isfinite(B)) B = 0.0;  // loop exits via t_min next round
+  }
+
+  if (parallel) {
+    barrier->close();
+    for (auto& f : worker_done) f.get();
+  }
+
+  // ---- teardown: deterministic fold in node order ----
+
+  Tally total = coord;
+  double busy_area = 0.0;
+  TimeMs last_event = coord_last;
+  for (std::uint32_t k = 0; k < node_count; ++k) {
+    const Shard& s = shards[k];
+    total.fold(s.tally);
+    busy_area += s.busy_area;
+    last_event = std::max(last_event, s.last_event);
+    NodeResult& nr = result.node_results[k];
+    nr.routed = s.routed;
+    nr.completed = s.tally.completed;
+    nr.cold_starts = s.tally.cold_starts;
+    nr.peak_queue = s.peak_queue;
+  }
+  result.completed = total.completed;
+  result.cold_starts = total.cold_starts;
+  result.failed = total.failed;
+  result.retried = total.retried;
+  result.timed_out = total.timed_out;
+  result.dropped = total.dropped;
+
+  if (!latencies.empty()) {
+    result.mean_ms = mean_of(latencies);
+    const Cdf cdf(latencies);  // one sort for all three quantiles
+    result.p50_ms = cdf.quantile(0.50);
+    result.p95_ms = cdf.quantile(0.95);
+    result.p99_ms = cdf.quantile(0.99);
+  }
+  // Streaming accumulator in the merged (time, node) completion order
+  // (deterministic: virtual time), merged across seeds by run_batch.
+  for (double latency : latencies) result.latency_stats.add(latency);
+  const TimeMs span = std::max(last_event, config.horizon_ms);
+  result.achieved_rps =
+      span > 0.0 ? static_cast<double>(result.completed) / (span / 1000.0)
+                 : 0.0;
+  result.mean_busy_instances = span > 0.0 ? busy_area / span : 0.0;
+
+  if (metrics) {
+    metrics->counter("cluster.cold_starts")
+        .inc(static_cast<std::int64_t>(total.cold_starts));
+    metrics->counter("chiron.fault.injected")
+        .inc(static_cast<std::int64_t>(total.fault_total()));
+    metrics->counter("chiron.fault.injected.cold_start")
+        .inc(static_cast<std::int64_t>(total.fault_kind[0]));
+    metrics->counter("chiron.fault.injected.crash")
+        .inc(static_cast<std::int64_t>(total.fault_kind[1]));
+    metrics->counter("chiron.fault.injected.straggler")
+        .inc(static_cast<std::int64_t>(total.fault_kind[2]));
+    metrics->counter("chiron.fault.injected.node_crash")
+        .inc(static_cast<std::int64_t>(total.fault_kind[3]));
+    metrics->counter("chiron.retry.attempts")
+        .inc(static_cast<std::int64_t>(total.retried));
+    metrics->counter("chiron.request.timeout")
+        .inc(static_cast<std::int64_t>(total.timed_out));
+    for (std::uint32_t k = 0; k < node_count; ++k) {
+      metrics->counter("cluster.node." + std::to_string(k) + ".cold_starts")
+          .inc(static_cast<std::int64_t>(shards[k].tally.cold_starts));
+    }
+    // Gauge replay: high-water = the merged peak, final value = the
+    // (empty) end-of-run depth — matching the sequential loop's last
+    // set() exactly.
+    obs::Gauge& qg = metrics->gauge("cluster.queue_depth");
+    qg.set(static_cast<double>(result.peak_queue));
+    qg.set(static_cast<double>(queued_now));
+    metrics->gauge("cluster.peak_instances")
+        .set(static_cast<double>(result.peak_instances));
+    // Engine introspection: window/transfer volume for the obs endpoint.
+    metrics->counter("cluster.sim.windows")
+        .inc(static_cast<std::int64_t>(window_count));
+    metrics->counter("cluster.sim.transfers")
+        .inc(static_cast<std::int64_t>(transfer_count));
+    metrics->counter("cluster.sim.barrier_routed")
+        .inc(static_cast<std::int64_t>(barrier_routed));
+  }
+
+  CHIRON_LOG(kDebug) << "cluster sim windowed (" << node_count << " nodes, "
+                     << to_string(config.router) << ", " << worker_count
+                     << " threads, " << window_count << " windows, "
+                     << transfer_count << " transfers): " << result.completed
+                     << "/" << result.offered << " requests, "
+                     << result.cold_starts << " cold starts, "
+                     << result.failed << " faults, " << result.retried
+                     << " retries, " << result.timed_out << " timeouts, "
+                     << result.dropped << " drops, peak queue "
+                     << result.peak_queue << ", " << result.node_crashes
+                     << " node crashes";
+  return result;
+}
+
+}  // namespace cluster_detail
+}  // namespace chiron

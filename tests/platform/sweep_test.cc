@@ -97,6 +97,64 @@ TEST(SweepDeterminism, PerSeedResultsIdenticalAcrossPoolSizes) {
   }
 }
 
+TEST(SweepShardedDeterminism, MultiNodeScenariosIdenticalAcrossPoolSizes) {
+  // The windowed multi-node engine inside run_batch workers: stateful
+  // routing (warm_affinity), faults, retries, and node crashes, swept
+  // across batch pool sizes 1/4/8. Per-seed results must be
+  // bit-identical — the engine's schedule depends only on the config, so
+  // neither the batch pool size nor nesting inside pool workers may
+  // perturb it.
+  const SweepFixture fx;
+  ScenarioSpec sharded{"faastlane-sharded", sweep_config(30.0),
+                       fx.faastlane.get(), 1};
+  sharded.config.nodes = 4;
+  sharded.config.router = RouterPolicy::kWarmAffinity;
+  sharded.config.faults.cold_start_failure = 0.08;
+  sharded.config.faults.crash = 0.1;
+  sharded.config.faults.node_crash = 0.4;
+  sharded.config.faults.seed = 21;
+  sharded.config.retry.max_attempts = 3;
+  sharded.config.retry.timeout_ms = 800.0;
+  ScenarioSpec parallel_engine = sharded;
+  parallel_engine.name = "faastlane-sharded-mt";
+  parallel_engine.config.sim_threads = 4;  // windowed engine goes parallel
+  const std::vector<ScenarioSpec> specs{sharded, parallel_engine};
+  const std::vector<std::uint64_t> seeds{101, 202, 303};
+
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  ThreadPool pool8(8);
+  const auto base =
+      ClusterSimulator::run_batch(specs, seeds, fx.opts.params, &pool1);
+  const auto par4 =
+      ClusterSimulator::run_batch(specs, seeds, fx.opts.params, &pool4);
+  const auto par8 =
+      ClusterSimulator::run_batch(specs, seeds, fx.opts.params, &pool8);
+
+  ASSERT_EQ(base.size(), 2u);
+  for (std::size_t s = 0; s < base.size(); ++s) {
+    SCOPED_TRACE(base[s].name);
+    ASSERT_EQ(base[s].runs.size(), seeds.size());
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      SCOPED_TRACE("seed " + std::to_string(seeds[k]));
+      EXPECT_EQ(without_id_base(base[s].runs[k]),
+                without_id_base(par4[s].runs[k]));
+      EXPECT_EQ(without_id_base(base[s].runs[k]),
+                without_id_base(par8[s].runs[k]));
+      ASSERT_EQ(base[s].runs[k].node_results.size(), 4u);
+    }
+    EXPECT_EQ(base[s].latency_ms, par4[s].latency_ms);
+    EXPECT_EQ(base[s].latency_ms, par8[s].latency_ms);
+  }
+  // And sim_threads itself must not change results either: the
+  // single-thread and four-thread engine scenarios agree run-for-run.
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    EXPECT_EQ(without_id_base(base[0].runs[k]),
+              without_id_base(base[1].runs[k]))
+        << "sim_threads changed seed " << seeds[k];
+  }
+}
+
 TEST(SweepAggregates, OutcomeIsExactFoldOfRuns) {
   const SweepFixture fx;
   const std::vector<std::uint64_t> seeds{5, 6};
